@@ -1,0 +1,137 @@
+"""Ablation benchmarks for GMT-Reuse's design choices (DESIGN.md).
+
+Each ablation switches off one ingredient and checks the paper's rationale
+for including it:
+
+- the 80% Tier-3-bias heuristic (section 2.2)     -> Hotspot collapses;
+- 2-level Markov vs 1-level "last tier" history   -> alternating-pattern
+  apps (PageRank, Figure 4(c)) lose accuracy;
+- pipelined sampling (flush every batch) vs a single flush at the end of
+  sampling -> "better placement for the early part of the execution";
+- asynchronous background evictions (section 5 future work) -> never
+  slower than synchronous.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.baselines.bam import BamRuntime
+from repro.core.runtime import GMTRuntime
+from repro.experiments.harness import default_config, get_workload
+
+
+def _speedup(config, workload, **overrides):
+    cfg = replace(config.with_policy("reuse"), **overrides)
+    bam = BamRuntime(config).run(workload)
+    res = GMTRuntime(cfg).run(workload)
+    return res, res.speedup_over(bam)
+
+
+def test_tier3_bias_heuristic_ablation(benchmark, scale, save_result):
+    """Without the 80% rule, Hotspot's Tier-2 stays empty (section 3.3)."""
+    config = default_config(scale)
+    workload = get_workload("hotspot", config)
+
+    def run():
+        on, s_on = _speedup(config, workload)
+        off, s_off = _speedup(config, workload, tier3_bias_enabled=False)
+        return (on, s_on), (off, s_off)
+
+    (on, s_on), (off, s_off) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + render_table(
+            ["heuristic", "speedup/BaM", "T2 hits", "forced placements"],
+            [
+                ["on", s_on, on.stats.t2_hits, on.stats.forced_t2_placements],
+                ["off", s_off, off.stats.t2_hits, off.stats.forced_t2_placements],
+            ],
+            title="Ablation: 80% Tier-3-bias heuristic (Hotspot)",
+        )
+    )
+    assert on.stats.forced_t2_placements > 0
+    assert off.stats.forced_t2_placements == 0
+    assert s_on > s_off  # the heuristic is what makes Hotspot win
+    assert on.stats.t2_hits > 2 * max(1, off.stats.t2_hits)
+
+
+def test_markov_vs_last_tier_history(benchmark, scale, save_result):
+    """PageRank's alternating RRDs defeat a 1-level history (Fig. 4(c))."""
+    config = default_config(scale)
+    workload = get_workload("pagerank", config)
+
+    def run():
+        markov, s_markov = _speedup(config, workload)
+        last, s_last = _speedup(config, workload, reuse_predictor="last")
+        return (markov, s_markov), (last, s_last)
+
+    (markov, s_markov), (last, s_last) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        "\n"
+        + render_table(
+            ["predictor", "speedup/BaM", "prediction accuracy"],
+            [
+                ["markov (2-level)", s_markov, markov.stats.prediction_accuracy],
+                ["last-tier (1-level)", s_last, last.stats.prediction_accuracy],
+            ],
+            title="Ablation: 2-level Markov vs 1-level history (PageRank)",
+        )
+    )
+    assert markov.stats.prediction_accuracy >= last.stats.prediction_accuracy
+
+
+def test_pipelined_vs_oneshot_sampling(benchmark, scale, save_result):
+    """Paper: pipelining samples to the CPU thread 'results in better
+    placement for the early part of the execution'."""
+    config = default_config(scale)
+    workload = get_workload("srad", config)
+
+    def run():
+        pipelined, s_p = _speedup(config, workload)
+        oneshot, s_o = _speedup(config, workload, sample_batch=config.sample_target)
+        return (pipelined, s_p), (oneshot, s_o)
+
+    (pipelined, s_p), (oneshot, s_o) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + render_table(
+            ["sampling", "speedup/BaM", "resolved predictions"],
+            [
+                ["pipelined (paper)", s_p, pipelined.stats.resolved_predictions],
+                ["one-shot flush", s_o, oneshot.stats.resolved_predictions],
+            ],
+            title="Ablation: pipelined vs one-shot sampling (Srad)",
+        )
+    )
+    # Pipelining can only help: the model exists earlier, so more early
+    # evictions are predicted/resolved.
+    assert pipelined.stats.resolved_predictions >= oneshot.stats.resolved_predictions
+    assert s_p >= s_o * 0.97
+
+
+def test_async_evictions_future_work(benchmark, scale, save_result):
+    """Section 5: background eviction orchestration reduces miss latency."""
+    config = default_config(scale)
+    workload = get_workload("backprop", config)
+
+    def run():
+        sync, s_sync = _speedup(config, workload)
+        async_, s_async = _speedup(config, workload, async_evictions=True)
+        return (sync, s_sync), (async_, s_async)
+
+    (sync, s_sync), (async_, s_async) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        "\n"
+        + render_table(
+            ["evictions", "speedup/BaM", "fault term (ms)"],
+            [
+                ["synchronous", s_sync, sync.breakdown.fault_ns / 1e6],
+                ["background (section 5)", s_async, async_.breakdown.fault_ns / 1e6],
+            ],
+            title="Extension: asynchronous eviction orchestration (Backprop)",
+        )
+    )
+    assert async_.breakdown.fault_ns <= sync.breakdown.fault_ns
+    assert s_async >= s_sync * 0.999

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Capacity planning: size the tiers before buying the DRAM.
+
+A team adopting GMT asks: *how much host memory should this box have for
+our workload?*  Instead of simulating every geometry, one instrumented
+pass builds the workload's miss-ratio curve (Mattson stack analysis), and
+from it an analytic expected-fault-cost (AMAT) model for any
+Tier-1/Tier-2 split — the analytic counterpart of the paper's Figure 12
+sweep.  This example:
+
+1. builds miss-ratio curves for two contrasting apps;
+2. prints the analytic expected fault cost across Tier-2:Tier-1 ratios
+   next to the *simulated* GMT-Reuse speedups for the same geometries;
+3. answers planning questions ("capacity for 60% hit ratio?").
+
+Run:  python examples/capacity_planning.py
+"""
+
+from dataclasses import replace
+
+from repro import BamRuntime, GMTConfig, GMTRuntime
+from repro.analysis.mrc import miss_ratio_curve
+from repro.analysis.report import render_table
+from repro.units import format_time
+from repro.workloads import make_workload
+
+
+def plan(app: str, config: GMTConfig) -> None:
+    # The MRC comes from the program-order trace (an application
+    # property); simulations run the jittered execution-order trace.
+    footprint = config.working_set_frames()
+    workload = make_workload(app, footprint, jitter_warps=0)
+    mrc = miss_ratio_curve(workload)
+
+    rows = []
+    for ratio in (1, 2, 4, 8):
+        tier2 = config.tier1_frames * ratio
+        cfg = replace(config, tier2_frames=tier2)
+        analytic_ns = mrc.expected_fault_ns(config.tier1_frames, tier2, cfg.platform)
+        sim_workload = make_workload(app, footprint)
+        bam = BamRuntime(cfg).run(sim_workload)
+        gmt = GMTRuntime(cfg.with_policy("reuse")).run(sim_workload)
+        t1, t2_frac, miss = mrc.tier_hit_fractions(config.tier1_frames, tier2)
+        rows.append(
+            [
+                f"{ratio}x",
+                f"{t2_frac:.0%}",
+                f"{miss:.0%}",
+                format_time(analytic_ns),
+                gmt.speedup_over(bam),
+            ]
+        )
+    print(
+        render_table(
+            ["Tier-2 size", "T2-band hits", "SSD misses", "analytic fault/access", "simulated speedup"],
+            rows,
+            title=f"{workload.name}: analytic plan vs simulated GMT-Reuse",
+        )
+    )
+
+    for target in (0.4, 0.6, 0.8):
+        capacity = mrc.capacity_for_hit_ratio(target)
+        answer = f"{capacity} pages" if capacity is not None else "unachievable (cold misses)"
+        print(f"  capacity for {target:.0%} hit ratio: {answer}")
+    print()
+
+
+def main() -> None:
+    config = GMTConfig.paper_default(scale=512)
+    for app in ("srad", "hotspot"):
+        plan(app, config)
+    print(
+        "Reading the tables: where the analytic fault cost stops falling,\n"
+        "extra host memory stops paying for itself — the same knee the\n"
+        "simulated speedups show.  Hotspot also exposes the LRU model's\n"
+        "blind spot: below the knee it predicts zero benefit, while\n"
+        "GMT-Reuse's 80% heuristic (paper section 2.2) still extracts real\n"
+        "hits from a Tier-2 that LRU would churn — plan with the analytic\n"
+        "model, verify with the simulator."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""GMT: GPU Orchestrated Memory Tiering for the Big Data Era — reproduction.
+
+A simulation-based reproduction of Chang et al., ASPLOS 2024.  The public
+API mirrors the paper's structure:
+
+>>> from repro import GMTConfig, GMTRuntime, BamRuntime
+>>> from repro.workloads import make_workload
+>>> config = GMTConfig.paper_default()
+>>> trace = list(make_workload("pagerank", config))
+>>> gmt = GMTRuntime(config.with_policy("reuse")).run(trace)
+>>> bam = BamRuntime(config).run(trace)
+>>> gmt.speedup_over(bam)  # doctest: +SKIP
+1.2...
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.baselines import BamRuntime, DragonRuntime, HmmRuntime
+from repro.core import GMTConfig, GMTRuntime, RunResult, RuntimeStats
+from repro.sim import PlatformModel, WarpAccess
+from repro.units import PAGE_SIZE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BamRuntime",
+    "DragonRuntime",
+    "GMTConfig",
+    "GMTRuntime",
+    "HmmRuntime",
+    "PAGE_SIZE",
+    "PlatformModel",
+    "RunResult",
+    "RuntimeStats",
+    "WarpAccess",
+    "__version__",
+]

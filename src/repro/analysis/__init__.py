@@ -1,0 +1,37 @@
+"""Offline workload/run analysis.
+
+- :mod:`repro.analysis.characterize` — instrumented-run analysis behind
+  Table 2 and Figures 4 and 7: reuse percentages, VTD<->RD correlation,
+  and remaining-reuse-distance distributions at Tier-1 evictions;
+- :mod:`repro.analysis.metrics` — speedups, means, I/O reductions;
+- :mod:`repro.analysis.report` — plain-text table rendering for the
+  experiment harness.
+"""
+
+from repro.analysis.characterize import (
+    AccessRDAnalysis,
+    EvictionRRDAnalysis,
+    VtdRdCorrelation,
+    WorkloadCharacteristics,
+    characterize_workload,
+    collect_access_rds,
+    collect_eviction_rrds,
+    vtd_rd_correlation,
+)
+from repro.analysis.metrics import arithmetic_mean, geometric_mean, percent_change
+from repro.analysis.report import render_table
+
+__all__ = [
+    "AccessRDAnalysis",
+    "EvictionRRDAnalysis",
+    "collect_access_rds",
+    "VtdRdCorrelation",
+    "WorkloadCharacteristics",
+    "arithmetic_mean",
+    "characterize_workload",
+    "collect_eviction_rrds",
+    "geometric_mean",
+    "percent_change",
+    "render_table",
+    "vtd_rd_correlation",
+]

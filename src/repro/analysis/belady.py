@@ -1,0 +1,99 @@
+"""Belady's MIN algorithm — the optimal-replacement reference.
+
+The paper's policies *approximate* "Belady's OPT algorithm [8]: one should
+replace the page whose next reference is furthest in the future".  This
+module computes the real thing offline for a single cache level, so
+analyses can report how far the clock algorithm (and hence everything
+built on it) sits from optimal for Tier-1:
+
+>>> misses = belady_min_misses(pages, capacity=1024)
+>>> clock = clock_misses(pages, capacity=1024)
+>>> efficiency = misses / clock    # 1.0 = clock is optimal
+
+Implementation: one pass with a max-heap of (next-use, page) entries and
+lazy invalidation; O(N log N) over the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+
+from repro.errors import TraceError
+from repro.mem.clock_replacement import ClockReplacement
+
+#: Sentinel "never used again" distance (sorts after every real index).
+_NEVER = float("inf")
+
+
+def belady_min_misses(pages: list[int], capacity: int) -> int:
+    """Miss count of Belady's MIN on ``pages`` with ``capacity`` frames.
+
+    Counts cold misses too (every first access is a miss).
+    """
+    if capacity < 1:
+        raise TraceError(f"capacity must be >= 1, got {capacity}")
+    # next_use[i] = index of the next access to pages[i] after i.
+    positions: dict[int, deque[int]] = defaultdict(deque)
+    for i, page in enumerate(pages):
+        positions[page].append(i)
+
+    resident: set[int] = set()
+    # Max-heap on next use (store negatives); entries go stale when a page
+    # is touched again — validated lazily against `next_use_of`.
+    heap: list[tuple[float, int]] = []
+    next_use_of: dict[int, float] = {}
+    misses = 0
+
+    for i, page in enumerate(pages):
+        positions[page].popleft()  # consume this access
+        upcoming = positions[page][0] if positions[page] else _NEVER
+        if page in resident:
+            next_use_of[page] = upcoming
+            heapq.heappush(heap, (-upcoming, page))
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            while True:
+                neg_use, victim = heapq.heappop(heap)
+                if victim in resident and next_use_of.get(victim) == -neg_use:
+                    break  # freshest entry for a resident page
+            resident.remove(victim)
+            del next_use_of[victim]
+        resident.add(page)
+        next_use_of[page] = upcoming
+        heapq.heappush(heap, (-upcoming, page))
+    return misses
+
+
+def clock_misses(pages: list[int], capacity: int) -> int:
+    """Miss count of the clock algorithm (the runtimes' Tier-1 policy)."""
+    if capacity < 1:
+        raise TraceError(f"capacity must be >= 1, got {capacity}")
+    clock = ClockReplacement(capacity)
+    misses = 0
+    for page in pages:
+        if page in clock:
+            clock.touch(page)
+            continue
+        misses += 1
+        if clock.full:
+            clock.select_victim()
+        clock.insert(page, referenced=True)
+    return misses
+
+
+def clock_vs_min(pages: list[int], capacity: int) -> dict[str, float]:
+    """Compare clock against MIN on one trace.
+
+    Returns a dict with both miss counts and ``efficiency`` =
+    MIN misses / clock misses (1.0 means clock is optimal; lower means
+    clock wastes that fraction of its misses).
+    """
+    min_misses = belady_min_misses(pages, capacity)
+    clk = clock_misses(pages, capacity)
+    return {
+        "min_misses": min_misses,
+        "clock_misses": clk,
+        "efficiency": min_misses / clk if clk else 1.0,
+    }

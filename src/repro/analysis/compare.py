@@ -1,0 +1,78 @@
+"""Side-by-side comparison of run results.
+
+Given several :class:`~repro.core.runtime.RunResult` objects over the same
+trace, build the comparison the evaluation figures are made of: speedups
+against a named baseline, I/O deltas, hit rates, and the bottleneck each
+run sits on.  Used by ``gmt-sim`` and handy in notebooks/REPL sessions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.runtime import RunResult
+from repro.errors import SimulationError
+from repro.units import format_bytes, format_time
+
+
+def comparison_rows(
+    results: dict[str, RunResult], baseline: str | None = None
+) -> list[list[object]]:
+    """One row per run: label, speedup, time, SSD I/O, hit rates, bottleneck.
+
+    Args:
+        results: label -> result (insertion order preserved).
+        baseline: label to normalise speedups against (default: the first).
+    """
+    if not results:
+        raise SimulationError("nothing to compare")
+    if baseline is None:
+        baseline = next(iter(results))
+    if baseline not in results:
+        raise SimulationError(f"baseline {baseline!r} not among {list(results)}")
+    accesses = {r.stats.coalesced_accesses for r in results.values()}
+    if len(accesses) > 1:
+        raise SimulationError(
+            "results replay different traces (coalesced access counts "
+            f"{sorted(accesses)}); comparisons would be meaningless"
+        )
+    base = results[baseline]
+    rows: list[list[object]] = []
+    for label, result in results.items():
+        stats = result.stats
+        rows.append(
+            [
+                label,
+                result.speedup_over(base),
+                format_time(result.elapsed_ns),
+                format_bytes(result.ssd_io_bytes),
+                f"{stats.t1_hit_rate:.0%}",
+                f"{stats.t2_hit_rate:.0%}",
+                result.breakdown.bottleneck,
+            ]
+        )
+    return rows
+
+
+def comparison_table(
+    results: dict[str, RunResult],
+    baseline: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Rendered comparison (see :func:`comparison_rows`)."""
+    return render_table(
+        ["runtime", "speedup", "time", "SSD I/O", "T1 hit", "T2 hit", "bottleneck"],
+        comparison_rows(results, baseline),
+        title=title,
+    )
+
+
+def io_breakdown(result: RunResult) -> dict[str, int]:
+    """Page-granular I/O ledger of one run (for reports and asserts)."""
+    stats = result.stats
+    return {
+        "ssd_reads": stats.ssd_page_reads,
+        "ssd_writes": stats.ssd_page_writes,
+        "tier2_fetches": stats.t2_fetches,
+        "tier2_placements": stats.t2_placements,
+        "clean_discards": stats.clean_discards,
+    }

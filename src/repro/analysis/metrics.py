@@ -1,0 +1,50 @@
+"""Small numeric helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average; the paper's "average speedup" figures use this."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (reported alongside for speedup distributions)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """Signed percent change of ``new`` relative to ``baseline``.
+
+    ``percent_change(0.5, 1.0) == -50.0`` (a halving).
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return 100.0 * (new - baseline) / baseline
+
+
+def io_reduction_percent(runtime_ios: float, baseline_ios: float) -> float:
+    """Figure 8(b)'s metric: how much less SSD I/O than the baseline.
+
+    Positive means fewer I/Os.  A zero-I/O baseline with zero runtime I/O
+    is a 0 % reduction.
+    """
+    if baseline_ios == 0:
+        return 0.0
+    return 100.0 * (baseline_ios - runtime_ios) / baseline_ios
+
+
+def speedup(baseline_time: float, runtime_time: float) -> float:
+    """``baseline / runtime`` — >1 means the runtime is faster."""
+    if runtime_time <= 0:
+        raise ValueError("runtime time must be positive")
+    return baseline_time / runtime_time

@@ -1,0 +1,141 @@
+"""Miss-ratio curves and analytic tier planning (Mattson stack analysis).
+
+An LRU cache of capacity ``c`` hits an access exactly when its reuse
+distance is below ``c``, so one pass collecting exact reuse distances
+(:mod:`repro.reuse.distance`) yields the *whole* miss-ratio curve at once —
+Mattson's classic stack algorithm.  On top of the curve this module builds
+the capacity-planning questions a GMT deployment asks:
+
+- how big must Tier-1/Tier-2 be for a target hit ratio?
+- what is the expected fault cost per access (AMAT) for a given 3-tier
+  geometry — the analytic counterpart of Figure 12's capacity sweep?
+
+The curve is an idealised LRU bound (the runtime's clock + policies add
+their own effects), which is exactly what makes it useful for sizing
+before running full simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.reuse.distance import ReuseDistanceTracker
+from repro.sim.latency import PlatformModel
+from repro.workloads.trace import Workload
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Exact LRU miss-ratio curve of one trace.
+
+    Attributes:
+        rd_counts: ``rd_counts[d]`` = number of accesses with reuse
+            distance exactly ``d`` (cold/first accesses excluded).
+        cold_accesses: accesses with no prior reference (always misses).
+        total_accesses: all coalesced accesses.
+    """
+
+    rd_counts: np.ndarray
+    cold_accesses: int
+    total_accesses: int
+
+    @property
+    def finite_reuses(self) -> int:
+        return self.total_accesses - self.cold_accesses
+
+    def hits_at(self, capacity: int) -> int:
+        """Accesses an LRU cache of ``capacity`` pages would hit."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity: {capacity}")
+        if capacity == 0:
+            return 0
+        upto = min(capacity, len(self.rd_counts))
+        return int(self.rd_counts[:upto].sum())
+
+    def hit_ratio(self, capacity: int) -> float:
+        if not self.total_accesses:
+            return 0.0
+        return self.hits_at(capacity) / self.total_accesses
+
+    def miss_ratio(self, capacity: int) -> float:
+        return 1.0 - self.hit_ratio(capacity)
+
+    def curve(self, capacities: list[int]) -> list[tuple[int, float]]:
+        """(capacity, miss ratio) points for plotting/reporting."""
+        return [(c, self.miss_ratio(c)) for c in capacities]
+
+    def capacity_for_hit_ratio(self, target: float) -> int | None:
+        """Smallest capacity whose hit ratio reaches ``target``.
+
+        Returns ``None`` when no capacity suffices (cold misses bound the
+        achievable hit ratio from above).
+        """
+        if not 0.0 <= target <= 1.0:
+            raise ValueError(f"target must be in [0, 1]: {target}")
+        if not self.total_accesses:
+            return None
+        achievable = self.finite_reuses / self.total_accesses
+        if target > achievable:
+            return None
+        cumulative = np.cumsum(self.rd_counts)
+        needed = target * self.total_accesses
+        idx = int(np.searchsorted(cumulative, needed - 1e-9))
+        return idx + 1
+
+    # ------------------------------------------------------------------
+    def tier_hit_fractions(
+        self, tier1_frames: int, tier2_frames: int
+    ) -> tuple[float, float, float]:
+        """(Tier-1 hits, Tier-2 hits, SSD misses) as access fractions for
+        an inclusive-LRU idealisation of the 3-tier hierarchy."""
+        h1 = self.hit_ratio(tier1_frames)
+        h12 = self.hit_ratio(tier1_frames + tier2_frames)
+        return h1, h12 - h1, 1.0 - h12
+
+    def expected_fault_ns(
+        self,
+        tier1_frames: int,
+        tier2_frames: int,
+        platform: PlatformModel | None = None,
+    ) -> float:
+        """Average fault cost per access (AMAT-style) for a geometry.
+
+        Tier-1 hits are free, Tier-2 hits cost the host fetch latency,
+        misses cost the SSD read latency — the analytic counterpart of
+        Figure 12's sweep, usable without running the simulator.
+        """
+        platform = platform or PlatformModel()
+        _, t2, miss = self.tier_hit_fractions(tier1_frames, tier2_frames)
+        return (
+            t2 * (platform.tier2_lookup_ns + platform.host_fetch_latency_ns)
+            + miss * platform.ssd_read_latency_ns
+        )
+
+
+def miss_ratio_curve(workload: Workload) -> MissRatioCurve:
+    """One instrumented pass over ``workload`` -> its miss-ratio curve."""
+    tracker = ReuseDistanceTracker()
+    counts: dict[int, int] = {}
+    cold = 0
+    total = 0
+    max_rd = -1
+    for page in workload.coalesced_pages():
+        total += 1
+        rd = tracker.record(page)
+        if rd is None:
+            cold += 1
+            continue
+        counts[rd] = counts.get(rd, 0) + 1
+        if rd > max_rd:
+            max_rd = rd
+    if total == 0:
+        raise TraceError("cannot build a miss-ratio curve over an empty trace")
+    rd_counts = np.zeros(max_rd + 1 if max_rd >= 0 else 0, dtype=np.int64)
+    for rd, n in counts.items():
+        rd_counts[rd] = n
+    return MissRatioCurve(
+        rd_counts=rd_counts, cold_accesses=cold, total_accesses=total
+    )

@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module keeps that output aligned and readable in a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule, e.g.::
+
+        Figure 8(a): speedup over BaM
+        app        GMT-TierOrder  GMT-Random  GMT-Reuse
+        ---------  -------------  ----------  ---------
+        LavaMD             0.981       1.013      0.942
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(items: Sequence[str]) -> str:
+        parts = []
+        for i, item in enumerate(items):
+            # Left-align the first (label) column, right-align numbers.
+            parts.append(item.ljust(widths[i]) if i == 0 else item.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bar chart, e.g. Figure 7's RRD distributions::
+
+        short   |##########                    | 0.25
+        medium  |############################  | 0.70
+        long    |##                            | 0.05
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if any(v < 0 for v in values):
+        raise ValueError("histogram values must be non-negative")
+    peak = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else round(value / peak * width)
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"{label.ljust(label_width)}  |{bar}| {_format_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Baseline runtimes the paper compares GMT against (section 3.1, 3.6).
+
+- :mod:`repro.baselines.bam` — BaM [40]: GPU-orchestrated **2-tier**
+  (GPU memory <-> SSD) hierarchy; the state of the art GMT extends.
+- :mod:`repro.baselines.hmm` — HMM [5]: **CPU-orchestrated 3-tier**
+  hierarchy through the Linux paging system, plus the section 3.6
+  "optimistic HMM" variant granted GMT-Reuse's hit rates.
+"""
+
+from repro.baselines.bam import BamRuntime
+from repro.baselines.dragon import DragonRuntime
+from repro.baselines.hmm import HmmRuntime, optimistic_hmm_breakdown
+
+__all__ = ["BamRuntime", "DragonRuntime", "HmmRuntime", "optimistic_hmm_breakdown"]

@@ -1,0 +1,33 @@
+"""BaM: GPU-initiated on-demand storage access, the 2-tier baseline.
+
+BaM [40] moves pages directly between GPU memory and the SSD through
+GPU-resident NVMe queues, "automatically bypass[ing] the host memory in
+both the up/down paths" (paper section 2).  Mechanically it is GMT with
+Tier-2 removed: same 64 KB pages, same clock replacement in GPU memory,
+same clean-discard/dirty-writeback eviction, same GPU-side fault
+parallelism — which is exactly how :class:`BamRuntime` is built, so every
+difference measured against GMT is attributable to Tier-2 and its
+placement policy, nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+
+
+class BamRuntime(GMTRuntime):
+    """2-tier (GPU memory <-> SSD) runtime; the paper's primary baseline.
+
+    Constructed from any :class:`~repro.core.config.GMTConfig`: the Tier-2
+    capacity is forced to zero and the placement policy to tier-order
+    (with no Tier-2, every eviction degenerates to BaM's behaviour —
+    discard clean pages, write dirty ones to the SSD).
+    """
+
+    def __init__(self, config: GMTConfig) -> None:
+        bam_config = replace(config, tier2_frames=0, policy="tier-order")
+        super().__init__(bam_config)
+        self.name = "BaM"

@@ -1,0 +1,158 @@
+"""Command-line tools.
+
+``gmt-sim``           — run one workload through one or more runtimes and
+                        print the comparison (speedups, I/O, hit rates).
+``gmt-characterize``  — instrumented analysis of a workload: reuse %,
+                        Eq. 1 class fractions, miss-ratio-curve points.
+``gmt-experiments``   — regenerate paper tables/figures
+                        (:mod:`repro.experiments.runner`).
+
+All tools take ``--scale`` (byte-scale divisor vs the paper's platform)
+and a Table 2 workload name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.characterize import characterize_workload, collect_access_rds
+from repro.analysis.compare import comparison_table
+from repro.analysis.mrc import miss_ratio_curve
+from repro.analysis.report import render_histogram, render_table
+from repro.sim.platforms import PLATFORM_PRESETS, get_platform
+from repro.core.config import DEFAULT_SCALE
+from repro.experiments.harness import (
+    RUNTIME_KINDS,
+    RUNTIME_LABELS,
+    build_runtime,
+    default_config,
+    get_workload,
+)
+from repro.reuse.classifier import ReuseClass
+from repro.units import format_bytes
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def _common_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "workload", choices=sorted(WORKLOAD_NAMES), help="Table 2 application"
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"byte-scale divisor vs the paper's platform (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--oversubscription",
+        type=float,
+        default=2.0,
+        help="working set / (Tier-1 + Tier-2) capacity (default 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    return parser
+
+
+def main_sim(argv: list[str] | None = None) -> int:
+    """Entry point for ``gmt-sim``."""
+    parser = _common_parser("gmt-sim", "Replay one workload through runtimes")
+    parser.add_argument(
+        "--runtimes",
+        nargs="+",
+        default=["bam", "reuse"],
+        choices=list(RUNTIME_KINDS),
+        help="runtimes to compare (default: bam reuse)",
+    )
+    parser.add_argument(
+        "--platform",
+        default="paper",
+        choices=sorted(PLATFORM_PRESETS),
+        help="hardware preset (default: the paper's Table 1 testbed)",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(args.scale, platform=get_platform(args.platform))
+    workload = get_workload(
+        args.workload, config, oversubscription=args.oversubscription, seed=args.seed
+    )
+    results = {
+        RUNTIME_LABELS[kind]: build_runtime(kind, config).run(workload)
+        for kind in args.runtimes
+    }
+    baseline = RUNTIME_LABELS["bam"] if "bam" in args.runtimes else None
+    print(
+        comparison_table(
+            results,
+            baseline=baseline,
+            title=(
+                f"{workload.name}: footprint {workload.footprint_pages} pages, "
+                f"Tier-1 {config.tier1_frames} / Tier-2 {config.tier2_frames} frames, "
+                f"platform '{args.platform}'"
+            ),
+        )
+    )
+    return 0
+
+
+def main_characterize(argv: list[str] | None = None) -> int:
+    """Entry point for ``gmt-characterize``."""
+    parser = _common_parser(
+        "gmt-characterize", "Instrumented reuse analysis of one workload"
+    )
+    parser.add_argument(
+        "--mrc-points",
+        type=int,
+        default=6,
+        help="number of miss-ratio-curve capacities to report",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(args.scale)
+    workload = get_workload(
+        args.workload,
+        config,
+        oversubscription=args.oversubscription,
+        seed=args.seed,
+        jitter_warps=0,  # characterisation runs in program order
+    )
+    chars = characterize_workload(workload)
+    rds = collect_access_rds(workload, config.tier1_frames, config.tier2_frames)
+    fractions = rds.class_fractions()
+
+    print(f"{workload.name}: {workload.description}")
+    print(f"  footprint:           {chars.distinct_pages} pages")
+    print(f"  coalesced accesses:  {chars.coalesced_accesses}")
+    print(f"  page reuse:          {chars.reuse_percent:.2f}%")
+    print(
+        f"  total I/O demand:    "
+        f"{format_bytes(chars.total_io_bytes(config.page_size))}"
+    )
+    print()
+    print(
+        render_histogram(
+            ["short (fits Tier-1)", "medium (fits Tier-1+2)", "long (beyond)"],
+            [
+                fractions[ReuseClass.SHORT],
+                fractions[ReuseClass.MEDIUM],
+                fractions[ReuseClass.LONG],
+            ],
+            title="Eq. 1 class mix of reuses (Figure 7's bars)",
+        )
+    )
+
+    mrc = miss_ratio_curve(workload)
+    total = config.total_memory_frames
+    capacities = [
+        max(1, int(total * f))
+        for f in [i / (args.mrc_points - 1) for i in range(1, args.mrc_points)]
+    ]
+    rows = [[c, mrc.miss_ratio(c)] for c in dict.fromkeys(capacities)]
+    print()
+    print(render_table(["capacity (pages)", "LRU miss ratio"], rows, title="Miss-ratio curve"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    sys.exit(main_sim())

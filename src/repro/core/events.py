@@ -1,0 +1,98 @@
+"""Optional runtime event tracing — paper Figure 2, observable.
+
+Figure 2 shows a GPU thread's lifetime through GMT: access, Tier-2
+lookup, fetch, eviction decision, writeback.  Attaching a
+:class:`RuntimeEventLog` to a runtime records exactly that sequence per page,
+which is how the tests pin down the pipeline's order of operations and how
+users debug surprising placement behaviour.
+
+Tracing is opt-in and zero-cost when detached (a single ``is None`` check
+per emission point).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class EventKind(enum.Enum):
+    """Every observable step of the access/eviction pipeline."""
+
+    T1_HIT = "t1-hit"
+    MISS = "miss"
+    T2_LOOKUP = "t2-lookup"
+    T2_HIT = "t2-hit"
+    SSD_READ = "ssd-read"
+    T1_FILL = "t1-fill"
+    RETAIN = "retain"              # short-reuse second chance
+    EVICT_T1 = "evict-t1"
+    PLACE_T2 = "place-t2"
+    BYPASS_T3 = "bypass-t3"
+    T2_EVICT = "t2-evict"
+    WRITEBACK = "writeback"
+    DISCARD = "discard"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One pipeline step: what happened, to which page, at what virtual
+    time (coalesced-access count)."""
+
+    kind: EventKind
+    page: int
+    vts: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.vts:>8}] {self.kind.value:<10} page={self.page}"
+
+
+class RuntimeEventLog:
+    """Bounded (or unbounded) recorder of :class:`RuntimeEvent`.
+
+    Args:
+        capacity: keep only the most recent N events (None = unbounded;
+            fine for tests, unwise for million-access runs).
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None: {capacity}")
+        self._events: deque[RuntimeEvent] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def emit(self, kind: EventKind, page: int, vts: int) -> None:
+        self._events.append(RuntimeEvent(kind=kind, page=page, vts=vts))
+
+    def events(self, kind: EventKind | None = None, page: int | None = None) -> list[RuntimeEvent]:
+        """Filtered snapshot (both filters optional)."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind is kind) and (page is None or e.page == page)
+        ]
+
+    def kinds_for_page(self, page: int) -> list[EventKind]:
+        """The page's lifetime as a kind sequence (Figure 2's storyline)."""
+        return [e.kind for e in self._events if e.page == page]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind (stable keys for reports)."""
+        counts = Counter(e.kind.value for e in self._events)
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+def format_events(events: Iterable[RuntimeEvent]) -> str:
+    """Multi-line human-readable rendering (debugging helper)."""
+    return "\n".join(str(e) for e in events)

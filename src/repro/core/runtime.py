@@ -1,0 +1,513 @@
+"""The GMT runtime: GPU-orchestrated 3-tier demand paging (paper section 2).
+
+One :class:`GMTRuntime` replays a workload's coalesced page-access stream
+through the hierarchy:
+
+- **hit path**: page resident in Tier-1 -> touch its clock bit, done.
+- **miss path** (Figure 2): look up Tier-2 (costs ~50 ns; a miss there is
+  a "wasteful lookup", Figure 10(a)); fetch from Tier-2 over PCIe via the
+  configured transfer engine, or from the SSD through the GPU-resident
+  NVMe queues.  The up-path always bypasses Tier-2, as in BaM ("we bypass
+  host memory in the 'up'-path", section 2).
+- **eviction pipeline**: when Tier-1 is full, clock nominates a victim and
+  the policy decides — retain (short-reuse, bounded rounds), place into
+  Tier-2 (evicting/bypassing per policy when Tier-2 is full), or bypass to
+  Tier-3 (discard clean, write back dirty).
+
+All orchestration costs are charged to the GPU-side cost model with the
+GPU's fault-level parallelism — that is what "GPU-orchestrated" means for
+performance, and what the HMM baseline lacks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.config import GMTConfig
+from repro.core.events import EventKind, RuntimeEventLog
+from repro.core.placement import PlacementDecision
+from repro.core.policies import PlacementPolicy, make_policy
+from repro.core.stats import RuntimeStats
+from repro.errors import SimulationError
+from repro.mem.clock_replacement import ClockReplacement
+from repro.mem.fifo import FifoQueue
+from repro.mem.page import PageLocation, PageState
+from repro.mem.page_table import PageTable
+from repro.mem.tier import Tier
+from repro.reuse.vtd import VirtualTimestampClock
+from repro.sim.cost import CostBreakdown, CostModel
+from repro.sim.gpu import WarpAccess, coalesce
+from repro.sim.nvme import NvmeSSD
+from repro.sim.pcie import PCIeLink
+from repro.sim.transfer import make_engine
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying one trace through a runtime."""
+
+    runtime_name: str
+    stats: RuntimeStats
+    breakdown: CostBreakdown
+    page_size: int
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.breakdown.elapsed_ns
+
+    @property
+    def ssd_io_bytes(self) -> int:
+        return self.stats.io_bytes(self.page_size)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """``other.elapsed / self.elapsed`` — >1 means self is faster."""
+        if self.elapsed_ns <= 0:
+            raise SimulationError("cannot compute speedup: zero elapsed time")
+        return other.elapsed_ns / self.elapsed_ns
+
+
+class _Tier2Fifo:
+    """Tier-2 eviction order: simple FIFO (section 2.2)."""
+
+    def __init__(self) -> None:
+        self._queue = FifoQueue()
+
+    def insert(self, page: int) -> None:
+        self._queue.push(page)
+
+    def remove(self, page: int) -> None:
+        self._queue.remove(page)
+
+    def select_victim(self) -> int:
+        return self._queue.pop_oldest()
+
+    def touch(self, page: int) -> None:
+        """FIFO ignores recency."""
+
+
+class _Tier2Clock:
+    """Tier-2 eviction order: clock (GMT-TierOrder, section 2.1.1)."""
+
+    def __init__(self, capacity: int) -> None:
+        self._clock = ClockReplacement(capacity)
+
+    def insert(self, page: int) -> None:
+        self._clock.insert(page, referenced=False)
+
+    def remove(self, page: int) -> None:
+        self._clock.remove(page)
+
+    def select_victim(self) -> int:
+        return self._clock.select_victim()
+
+    def touch(self, page: int) -> None:
+        self._clock.touch(page)
+
+
+class GMTRuntime:
+    """GPU-orchestrated 3-tier (GPU memory / host memory / SSD) runtime.
+
+    Args:
+        config: the geometry, policy and platform to run.
+        policy_factory: optional override constructing a custom
+            :class:`~repro.core.policies.PlacementPolicy` from
+            ``(config, stats, vts, rng)`` — used by the Belady-style
+            oracle and by experiments with bespoke policies.
+    """
+
+    name = "GMT"
+
+    def __init__(self, config: GMTConfig, policy_factory=None) -> None:
+        self.config = config
+        platform = config.platform
+        self.stats = RuntimeStats()
+        self.page_table = PageTable()
+        self.vts = VirtualTimestampClock()
+        self.rng = random.Random(config.seed)
+
+        self.tier1 = Tier("Tier-1", config.tier1_frames)
+        self.tier2 = Tier("Tier-2", config.tier2_frames)
+        self.t1_clock = ClockReplacement(config.tier1_frames)
+
+        if policy_factory is None:
+            policy_factory = make_policy
+        self.policy: PlacementPolicy = policy_factory(
+            config, self.stats, self.vts, self.rng
+        )
+        if self.policy.tier2_uses_clock and config.tier2_frames > 0:
+            self._t2_order = _Tier2Clock(config.tier2_frames)
+        else:
+            self._t2_order = _Tier2Fifo()
+
+        self.engine = make_engine(config.transfer_engine)
+        #: Amortised critical-path cost of one Tier-1<->Tier-2 page move:
+        #: demand misses arrive in bursts across warps, so engine overheads
+        #: (pinning, DMA descriptors) spread over a nominal batch.
+        batch = config.transfer_batch_pages
+        self._t2_move_ns = (
+            self.engine.transfer_time_ns(batch, page_size=config.page_size) / batch
+        )
+
+        self.pcie = PCIeLink(bandwidth=platform.pcie_bandwidth)
+        self.ssd = NvmeSSD(
+            read_latency_ns=platform.ssd_read_latency_ns,
+            write_latency_ns=platform.ssd_write_latency_ns,
+            read_bandwidth=platform.ssd_read_bandwidth,
+            write_bandwidth=platform.ssd_write_bandwidth,
+            queue_depth=platform.nvme_queue_depth,
+        )
+        self.cost = CostModel(fault_concurrency=platform.gpu_fault_concurrency)
+        #: Extra critical-path cost charged to every Tier-1 miss.  Zero for
+        #: GPU-orchestrated runtimes; the HMM baseline sets it to the host
+        #: software stack's per-fault overhead.
+        self._extra_fault_ns = 0.0
+        #: Optional event recorder (see :mod:`repro.core.events`).
+        self._events: RuntimeEventLog | None = None
+        #: Queueing time model, built lazily (subclasses adjust the
+        #: orchestration parameters it reads after construction).
+        self._queueing = None
+        #: Scratch flags describing the last eviction's side effects, for
+        #: the queueing model's critical-path sequencing.
+        self._fx_writeback = False
+        self._fx_t2_place = False
+        self._fx_t2_evict = False
+        self.name = f"GMT-{self.policy.name}"
+
+    # ------------------------------------------------------------------
+    # queueing time model (optional, config.time_model == "queueing")
+    # ------------------------------------------------------------------
+    def _queueing_model(self):
+        """Build (once) and return the queueing model, or None."""
+        if self.config.time_model != "queueing":
+            return None
+        if self._queueing is None:
+            from repro.sim.queueing import QueueingModel
+
+            self._queueing = QueueingModel(
+                platform=self.config.platform,
+                page_size=self.config.page_size,
+                fault_concurrency=self.cost.fault_concurrency,
+                extra_fault_ns=self._extra_fault_ns,
+                t2_move_ns=self._t2_move_ns,
+                ssd_read_bandwidth=self.ssd.read_bandwidth,
+                ssd_write_bandwidth=self.ssd.write_bandwidth,
+            )
+        return self._queueing
+
+    # ------------------------------------------------------------------
+    # event tracing (optional)
+    # ------------------------------------------------------------------
+    def attach_event_log(self, capacity: int | None = None) -> RuntimeEventLog:
+        """Start recording pipeline events; returns the (new) log."""
+        self._events = RuntimeEventLog(capacity=capacity)
+        return self._events
+
+    def detach_event_log(self) -> None:
+        self._events = None
+
+    def _emit(self, kind: EventKind, page: int) -> None:
+        if self._events is not None:
+            self._events.emit(kind, page, self.vts.now)
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def run(self, trace: Iterable[WarpAccess]) -> RunResult:
+        """Replay a trace of warp accesses and return the run's result."""
+        for warp in trace:
+            self.access_warp(warp)
+        return self.result()
+
+    def access_warp(self, warp: WarpAccess) -> None:
+        """Issue one warp memory instruction (coalesced per 64 KB page)."""
+        self.stats.warp_instructions += 1
+        for page in coalesce(warp):
+            self.access(page, write=warp.write)
+
+    def access(self, page: int, write: bool = False) -> None:
+        """One coalesced access to ``page``."""
+        state = self.page_table.lookup(page)
+        vtd = self.vts.observe_access(state)
+        self.policy.on_access(state, vtd)
+        self.stats.coalesced_accesses += 1
+        platform = self.config.platform
+        self.cost.add_compute(platform.gpu_access_ns)
+
+        queueing = self._queueing_model()
+
+        if state.location is PageLocation.TIER1:
+            if queueing is not None:
+                queueing.on_hit()
+            self._emit(EventKind.T1_HIT, page)
+            self.stats.t1_hits += 1
+            self.t1_clock.touch(page)
+            if write:
+                state.mark_dirty()
+            if state.prefetched:
+                # First demand access to a prefetched page: account the
+                # hit and run the deferred fill bookkeeping (Markov
+                # resolution happens at demand time, not prefetch time).
+                state.prefetched = False
+                self.stats.prefetch_hits += 1
+                self.policy.on_tier1_fill(state, from_tier2=False)
+            return
+
+        # ---- demand miss --------------------------------------------------
+        self._emit(EventKind.MISS, page)
+        self.stats.t1_misses += 1
+        fault_ns = self._extra_fault_ns
+        from_tier2 = False
+        if self.tier2.capacity > 0:
+            self._emit(EventKind.T2_LOOKUP, page)
+            self.stats.t2_lookups += 1
+            fault_ns += platform.tier2_lookup_ns
+            if state.location is PageLocation.TIER2:
+                from_tier2 = True
+            else:
+                self.stats.t2_wasteful_lookups += 1
+
+        if from_tier2:
+            self._emit(EventKind.T2_HIT, page)
+            self.stats.t2_hits += 1
+            self.stats.t2_fetches += 1
+            self.tier2.remove(page)
+            self._t2_order.remove(page)
+            self.pcie.record_h2d(self.config.page_size)
+            fault_ns += platform.host_fetch_latency_ns + self._t2_move_ns
+        else:
+            # Up-path bypasses Tier-2: SSD -> GPU memory directly.
+            self._emit(EventKind.SSD_READ, page)
+            self.ssd.record_read(self.config.page_size)
+            self.stats.ssd_page_reads += 1
+            state.dirty = False  # fresh copy of the SSD contents
+            fault_ns += platform.ssd_read_latency_ns
+
+        self._fx_writeback = False
+        self._fx_t2_place = False
+        self._fx_t2_evict = False
+        eviction_ns = self._ensure_tier1_frame()
+        if not self.config.async_evictions:
+            # Demand-miss path waits for the frame to be freed; with
+            # background orchestration (paper section 5, future work) the
+            # eviction work overlaps with other faults instead.
+            fault_ns += eviction_ns
+
+        if queueing is not None:
+            if self.config.async_evictions:
+                if self._fx_writeback:
+                    queueing.on_background_io(self.config.page_size, write=True)
+                sync_writeback = sync_place = sync_evict = False
+            else:
+                sync_writeback = self._fx_writeback
+                sync_place = self._fx_t2_place
+                sync_evict = self._fx_t2_evict
+            queueing.on_miss(
+                tier2_lookup=self.tier2.capacity > 0,
+                tier2_hit=from_tier2,
+                writeback=sync_writeback,
+                tier2_place=sync_place,
+                tier2_evict=sync_evict,
+            )
+
+        self._emit(EventKind.T1_FILL, page)
+        self.tier1.insert(page)
+        self.t1_clock.insert(page, referenced=True)
+        state.location = PageLocation.TIER1
+        state.prefetched = False
+        if write:
+            state.dirty = True
+        self.policy.on_tier1_fill(state, from_tier2=from_tier2)
+        self.cost.add_fault_latency(fault_ns)
+
+        if self.config.prefetch_degree and not from_tier2:
+            self._prefetch_after(page)
+
+    # ------------------------------------------------------------------
+    # prefetching (optional)
+    # ------------------------------------------------------------------
+    def _prefetch_after(self, page: int) -> None:
+        """Pull the next sequential pages in with the demand miss.
+
+        Prefetches ride alongside the demand read (SSD bandwidth is
+        accounted; the demand miss does not wait), enter the clock with
+        their reference bit clear so unused ones are evicted first, and
+        defer policy fill bookkeeping to their first demand access.
+        """
+        for candidate in range(page + 1, page + 1 + self.config.prefetch_degree):
+            state = self.page_table.lookup(candidate)
+            if state.location is not PageLocation.TIER3:
+                continue
+            self.stats.prefetches_issued += 1
+            self._emit(EventKind.PREFETCH, candidate)
+            self.ssd.record_read(self.config.page_size)
+            self.stats.ssd_page_reads += 1
+            queueing = self._queueing_model()
+            if queueing is not None:
+                queueing.on_background_io(self.config.page_size)
+            eviction_ns = self._ensure_tier1_frame()
+            if not self.config.async_evictions:
+                self.cost.add_fault_latency(eviction_ns)
+            self.tier1.insert(candidate)
+            self.t1_clock.insert(candidate, referenced=False)
+            state.location = PageLocation.TIER1
+            state.dirty = False
+            state.prefetched = True
+
+    # ------------------------------------------------------------------
+    # eviction pipeline
+    # ------------------------------------------------------------------
+    def _ensure_tier1_frame(self) -> float:
+        """Free one Tier-1 frame if needed; returns critical-path ns spent."""
+        if not self.tier1.full:
+            return 0.0
+
+        retries = 0
+        while True:
+            victim = self.t1_clock.select_victim()
+            vstate = self.page_table.lookup(victim)
+            plan = self.policy.choose(vstate)
+            if plan.decision is not PlacementDecision.RETAIN_TIER1:
+                break
+            if retries >= self.config.max_clock_retries:
+                # Progress guarantee: a retained victim must eventually go
+                # somewhere; the nearest tier below is host memory.
+                self.stats.retention_overrides += 1
+                plan = _force_tier2(plan)
+                break
+            self.stats.clock_retentions += 1
+            self._emit(EventKind.RETAIN, victim)
+            self.t1_clock.insert(victim, referenced=True)
+            retries += 1
+
+        self._emit(EventKind.EVICT_T1, victim)
+        self.tier1.remove(victim)
+        vstate.location = PageLocation.TIER3  # provisional; updated below
+        self.stats.t1_evictions += 1
+        if vstate.prefetched:
+            vstate.prefetched = False
+            self.stats.prefetch_wasted += 1
+        self.policy.on_evicted(vstate, plan)
+        if plan.forced_tier2:
+            self.stats.forced_t2_placements += 1
+
+        if plan.decision is PlacementDecision.PLACE_TIER2 and self.tier2.capacity > 0:
+            allow_eviction = self.policy.tier2_evicts_on_full and not plan.forced_tier2
+            return self._place_in_tier2(vstate, allow_eviction)
+        return self._bypass_to_tier3(vstate)
+
+    def _place_in_tier2(self, state: PageState, allow_eviction: bool = True) -> float:
+        """Move an evicted Tier-1 page into host memory.
+
+        ``allow_eviction=False`` implements the free-slot-only placement of
+        heuristic-forced (section 2.2) insertions: a page force-placed
+        despite a Tier-3 prediction must not displace a resident — every
+        Tier-2 resident was placed with at least as strong a claim.
+        """
+        ns = 0.0
+        if self.tier2.full:
+            if not allow_eviction:
+                self.stats.t2_full_bypasses += 1
+                return self._bypass_to_tier3(state)
+            ns += self._evict_from_tier2()
+
+        self._emit(EventKind.PLACE_T2, state.page)
+        self._fx_t2_place = True
+        self.tier2.insert(state.page)
+        self._t2_order.insert(state.page)
+        state.location = PageLocation.TIER2
+        self.stats.t2_placements += 1
+        self.pcie.record_d2h(self.config.page_size)
+        ns += self._t2_move_ns
+        return ns
+
+    def _evict_from_tier2(self) -> float:
+        """Make room in Tier-2 (FIFO, or clock under GMT-TierOrder)."""
+        victim = self._t2_order.select_victim()
+        self._emit(EventKind.T2_EVICT, victim)
+        self._fx_t2_evict = True
+        self.tier2.remove(victim)
+        vstate = self.page_table.lookup(victim)
+        vstate.location = PageLocation.TIER3
+        self.stats.t2_evictions += 1
+        # Running the Tier-2 replacement mechanism is itself GPU work over
+        # host-resident metadata (section 2.1.1's third drawback).
+        return (
+            self.config.platform.tier2_eviction_ns + self._writeback_if_dirty(vstate)
+        )
+
+    def _bypass_to_tier3(self, state: PageState) -> float:
+        """Evict without a Tier-2 copy: discard clean, write back dirty."""
+        self._emit(EventKind.BYPASS_T3, state.page)
+        state.location = PageLocation.TIER3
+        ns = self._writeback_if_dirty(state)
+        if ns == 0.0:
+            self._emit(EventKind.DISCARD, state.page)
+            self.stats.clean_discards += 1
+        return ns
+
+    def _writeback_if_dirty(self, state: PageState) -> float:
+        if not state.dirty:
+            return 0.0
+        self._emit(EventKind.WRITEBACK, state.page)
+        self._fx_writeback = True
+        self.ssd.record_write(self.config.page_size)
+        self.stats.ssd_page_writes += 1
+        state.writeback()
+        return self.config.platform.ssd_write_latency_ns
+
+    # ------------------------------------------------------------------
+    def result(self) -> RunResult:
+        """Snapshot the run outcome (can be called repeatedly)."""
+        breakdown = self.cost.breakdown(
+            pcie_busy_ns=self.pcie.busy_time_ns(),
+            ssd_busy_ns=self.ssd.busy_time_ns(),
+        )
+        if self._queueing is not None:
+            breakdown = replace(breakdown, measured_ns=self._queueing.makespan_ns)
+        return RunResult(
+            runtime_name=self.name,
+            stats=self.stats,
+            breakdown=breakdown,
+            page_size=self.config.page_size,
+        )
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural invariants; used by tests and property checks."""
+        if len(self.tier1) > self.tier1.capacity:
+            raise SimulationError("Tier-1 over capacity")
+        if len(self.tier2) > self.tier2.capacity:
+            raise SimulationError("Tier-2 over capacity")
+        t1_pages = set(self.tier1)
+        t2_pages = set(self.tier2)
+        if t1_pages & t2_pages:
+            raise SimulationError(
+                f"pages duplicated across tiers: {sorted(t1_pages & t2_pages)[:5]}"
+            )
+        for page in t1_pages | t2_pages:
+            if self.page_table.peek(page) is None:
+                raise SimulationError(
+                    f"page {page} resident in a tier but unknown to the page table"
+                )
+        for state in self.page_table:
+            in_t1 = state.page in t1_pages
+            in_t2 = state.page in t2_pages
+            expected = (
+                PageLocation.TIER1
+                if in_t1
+                else PageLocation.TIER2
+                if in_t2
+                else PageLocation.TIER3
+            )
+            if state.location is not expected:
+                raise SimulationError(
+                    f"page {state.page}: location {state.location} but "
+                    f"membership says {expected}"
+                )
+
+
+def _force_tier2(plan):
+    """Rewrite a RETAIN plan whose retry budget ran out into a Tier-2 plan."""
+    return replace(plan, decision=PlacementDecision.PLACE_TIER2)

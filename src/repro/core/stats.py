@@ -1,0 +1,138 @@
+"""Runtime counters — every number the paper's evaluation section reports.
+
+One :class:`RuntimeStats` instance accompanies each run.  The raw counters
+map to the paper's figures as follows:
+
+- Figure 8(b): ``ssd_page_reads``/``ssd_page_writes`` (I/O vs BaM);
+- Figure 9: ``resolved_predictions``/``correct_predictions`` (accuracy);
+- Figure 10(a): ``t2_wasteful_lookups`` over ``t1_misses``;
+- Figure 10(b): ``t2_placements`` and ``t2_fetches`` over BaM transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated by a runtime over one trace replay."""
+
+    # --- access stream ----------------------------------------------------
+    warp_instructions: int = 0
+    coalesced_accesses: int = 0
+
+    # --- Tier-1 -------------------------------------------------------------
+    t1_hits: int = 0
+    t1_misses: int = 0
+    t1_evictions: int = 0
+    clock_retentions: int = 0          # short-reuse "second chance" rounds
+    retention_overrides: int = 0       # retry bound hit; forced eviction
+
+    # --- Tier-2 -------------------------------------------------------------
+    t2_lookups: int = 0
+    t2_hits: int = 0                   # "useful" lookups
+    t2_wasteful_lookups: int = 0       # lookup missed; fell through to SSD
+    t2_placements: int = 0             # Tier-1 evictions placed into Tier-2
+    t2_fetches: int = 0                # Tier-2 pages promoted to Tier-1
+    t2_evictions: int = 0              # FIFO/clock evictions out of Tier-2
+    t2_full_bypasses: int = 0          # GMT-Reuse: no free slot -> bypass
+    forced_t2_placements: int = 0      # 80% Tier-3-bias heuristic overrides
+
+    # --- Tier-3 / SSD ---------------------------------------------------------
+    ssd_page_reads: int = 0
+    ssd_page_writes: int = 0
+    clean_discards: int = 0            # evictions dropped without any I/O
+
+    # --- prefetching (optional, config.prefetch_degree > 0) ------------------
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0             # prefetched page later demand-hit
+    prefetch_wasted: int = 0           # prefetched page evicted untouched
+
+    # --- GMT-Reuse prediction bookkeeping -----------------------------------
+    predictions_made: int = 0          # Markov predictions used at eviction
+    fallback_placements: int = 0       # no history -> default strategy
+    resolved_predictions: int = 0      # prediction later checked vs truth
+    correct_predictions: int = 0
+    #: (predicted class name, actual class name) -> count.
+    confusion: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def t1_hit_rate(self) -> float:
+        """Fraction of coalesced accesses served from GPU memory."""
+        total = self.t1_hits + self.t1_misses
+        return self.t1_hits / total if total else 0.0
+
+    @property
+    def t2_hit_rate(self) -> float:
+        """Fraction of Tier-2 lookups that found the page."""
+        return self.t2_hits / self.t2_lookups if self.t2_lookups else 0.0
+
+    @property
+    def wasteful_lookup_fraction(self) -> float:
+        """Figure 10(a): wasteful Tier-2 lookups as a fraction of Tier-1
+        misses."""
+        return self.t2_wasteful_lookups / self.t1_misses if self.t1_misses else 0.0
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Figure 9: resolved Markov predictions that named the correct tier."""
+        if not self.resolved_predictions:
+            return 0.0
+        return self.correct_predictions / self.resolved_predictions
+
+    @property
+    def ssd_page_ios(self) -> int:
+        return self.ssd_page_reads + self.ssd_page_writes
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that were demand-hit."""
+        if not self.prefetches_issued:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued
+
+    def record_prediction_outcome(self, predicted: str, actual: str) -> None:
+        """Account one resolved prediction (called when a page returns to
+        Tier-1 and its previous eviction's correct tier becomes known)."""
+        self.resolved_predictions += 1
+        if predicted == actual:
+            self.correct_predictions += 1
+        key = (predicted, actual)
+        self.confusion[key] = self.confusion.get(key, 0) + 1
+
+    def io_bytes(self, page_size: int) -> int:
+        """Total SSD traffic in bytes (Figure 8(b)'s metric)."""
+        return self.ssd_page_ios * page_size
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat scalar snapshot for reports and experiment tables."""
+        return {
+            "warp_instructions": self.warp_instructions,
+            "coalesced_accesses": self.coalesced_accesses,
+            "t1_hits": self.t1_hits,
+            "t1_misses": self.t1_misses,
+            "t1_hit_rate": self.t1_hit_rate,
+            "t1_evictions": self.t1_evictions,
+            "clock_retentions": self.clock_retentions,
+            "t2_lookups": self.t2_lookups,
+            "t2_hits": self.t2_hits,
+            "t2_hit_rate": self.t2_hit_rate,
+            "t2_wasteful_lookups": self.t2_wasteful_lookups,
+            "wasteful_lookup_fraction": self.wasteful_lookup_fraction,
+            "t2_placements": self.t2_placements,
+            "t2_fetches": self.t2_fetches,
+            "t2_evictions": self.t2_evictions,
+            "t2_full_bypasses": self.t2_full_bypasses,
+            "forced_t2_placements": self.forced_t2_placements,
+            "ssd_page_reads": self.ssd_page_reads,
+            "ssd_page_writes": self.ssd_page_writes,
+            "clean_discards": self.clean_discards,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_wasted": self.prefetch_wasted,
+            "predictions_made": self.predictions_made,
+            "fallback_placements": self.fallback_placements,
+            "prediction_accuracy": self.prediction_accuracy,
+        }

@@ -1,0 +1,129 @@
+"""Windowed statistics timeline — watch a runtime warm up.
+
+GMT-Reuse's behaviour is phased: a cold sampling window, a Markov-history
+build-up, then steady state (section 2.1.3's "default strategy until we
+collect enough samples").  End-of-run counters average those phases away;
+a :class:`StatsTimeline` snapshots the counters every N coalesced accesses
+so the phases become visible:
+
+>>> runtime = GMTRuntime(config)
+>>> timeline = StatsTimeline(runtime, window=10_000)
+>>> for warp in workload:
+...     runtime.access_warp(warp)
+...     timeline.maybe_snapshot()
+>>> for w in timeline.windows():
+...     print(w.index, w.t2_hit_rate, w.prediction_coverage)
+
+Windows report *deltas* (what happened inside the window), not cumulative
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runtime import GMTRuntime
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StatsWindow:
+    """Counter deltas over one window of coalesced accesses."""
+
+    index: int
+    accesses: int
+    t1_hits: int
+    t1_misses: int
+    t2_hits: int
+    t2_lookups: int
+    ssd_reads: int
+    ssd_writes: int
+    predictions: int
+    fallbacks: int
+
+    @property
+    def t1_hit_rate(self) -> float:
+        total = self.t1_hits + self.t1_misses
+        return self.t1_hits / total if total else 0.0
+
+    @property
+    def t2_hit_rate(self) -> float:
+        return self.t2_hits / self.t2_lookups if self.t2_lookups else 0.0
+
+    @property
+    def prediction_coverage(self) -> float:
+        """Share of placement decisions made from real history (vs the
+        cold-phase default strategy) in this window."""
+        total = self.predictions + self.fallbacks
+        return self.predictions / total if total else 0.0
+
+
+_TRACKED = (
+    ("t1_hits", "t1_hits"),
+    ("t1_misses", "t1_misses"),
+    ("t2_hits", "t2_hits"),
+    ("t2_lookups", "t2_lookups"),
+    ("ssd_reads", "ssd_page_reads"),
+    ("ssd_writes", "ssd_page_writes"),
+    ("predictions", "predictions_made"),
+    ("fallbacks", "fallback_placements"),
+)
+
+
+class StatsTimeline:
+    """Snapshots a runtime's counters every ``window`` coalesced accesses."""
+
+    def __init__(self, runtime: GMTRuntime, window: int = 10_000) -> None:
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        self.runtime = runtime
+        self.window = window
+        self._windows: list[StatsWindow] = []
+        self._last = self._capture()
+        self._last_accesses = runtime.stats.coalesced_accesses
+
+    def _capture(self) -> dict[str, int]:
+        stats = self.runtime.stats
+        return {name: getattr(stats, attr) for name, attr in _TRACKED}
+
+    def maybe_snapshot(self) -> StatsWindow | None:
+        """Snapshot if at least one full window has elapsed; returns the
+        new window (or None).  Call after each warp — cheap when idle."""
+        accesses = self.runtime.stats.coalesced_accesses
+        if accesses - self._last_accesses < self.window:
+            return None
+        return self.snapshot()
+
+    def snapshot(self) -> StatsWindow:
+        """Force a window boundary now."""
+        now = self._capture()
+        accesses = self.runtime.stats.coalesced_accesses
+        window = StatsWindow(
+            index=len(self._windows),
+            accesses=accesses - self._last_accesses,
+            **{name: now[name] - self._last[name] for name, _ in _TRACKED},
+        )
+        self._windows.append(window)
+        self._last = now
+        self._last_accesses = accesses
+        return window
+
+    def windows(self) -> list[StatsWindow]:
+        return list(self._windows)
+
+    def series(self, metric: str) -> list[float]:
+        """One metric across windows, e.g. ``series("t2_hit_rate")``."""
+        if not self._windows:
+            return []
+        if not hasattr(self._windows[0], metric):
+            raise ConfigError(f"unknown timeline metric {metric!r}")
+        return [getattr(w, metric) for w in self._windows]
+
+    def run(self, trace) -> None:
+        """Convenience: replay ``trace`` through the runtime, snapshotting
+        as windows fill, with a final partial window."""
+        for warp in trace:
+            self.runtime.access_warp(warp)
+            self.maybe_snapshot()
+        if self.runtime.stats.coalesced_accesses > self._last_accesses:
+            self.snapshot()

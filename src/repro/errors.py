@@ -1,0 +1,32 @@
+"""Exception hierarchy for the GMT reproduction.
+
+Every error raised by this package derives from :class:`GMTError`, so
+callers embedding the simulator can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class GMTError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(GMTError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class CapacityError(GMTError):
+    """A tier or device was asked to hold more pages than it has frames."""
+
+
+class PageStateError(GMTError):
+    """A page was found in a state that the requested operation forbids
+    (e.g. evicting a page that is not resident)."""
+
+
+class TraceError(GMTError):
+    """A workload trace is malformed (empty warps, negative page ids, ...)."""
+
+
+class SimulationError(GMTError):
+    """The simulated platform reached an inconsistent state."""

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=...) -> ExperimentResult`` regenerating
+the rows/series the paper reports (see DESIGN.md's per-experiment index),
+and the package-level CLI prints them::
+
+    python -m repro.experiments fig8 --scale 256
+    python -m repro.experiments all
+
+Results within one process are cached by (config, app, runtime), so
+figures sharing the same runs (8, 9, 10, 14) pay for them once.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_config,
+    run_app,
+    run_matrix,
+)
+
+__all__ = ["ExperimentResult", "default_config", "run_app", "run_matrix"]

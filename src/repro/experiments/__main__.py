@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — see :mod:`repro.experiments.runner`."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

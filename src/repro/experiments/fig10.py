@@ -1,0 +1,72 @@
+"""Figure 10: the costs a Tier-2 introduces (section 3.4).
+
+- Figure 10(a): *wasteful* Tier-2 lookups (the page was not there) as a
+  percentage of Tier-1 misses.  GMT-Reuse should have the fewest;
+  GMT-TierOrder "does quite bad on this metric".
+- Figure 10(b): Tier-1->Tier-2 placements and Tier-2->Tier-1 fetches as a
+  percentage of BaM's GPU<->SSD transfers.  A policy places well when the
+  two halves of its bar match (placements get reused).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEFAULT_SCALE
+from repro.experiments.harness import (
+    ExperimentResult,
+    app_label,
+    default_config,
+    run_matrix,
+)
+from repro.workloads.registry import WORKLOAD_NAMES
+
+POLICIES = ("tier-order", "random", "reuse")
+
+
+def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+    config = default_config(scale)
+    matrix = run_matrix(config, kinds=("bam",) + POLICIES)
+
+    wasteful_rows: list[list[object]] = []
+    traffic_rows: list[list[object]] = []
+    wasteful: dict[str, list[float]] = {p: [] for p in POLICIES}
+
+    for app in WORKLOAD_NAMES:
+        runs = matrix[app]
+        bam_transfers = runs["bam"].stats.ssd_page_ios
+        wrow: list[object] = [app_label(app)]
+        trow: list[object] = [app_label(app)]
+        for policy in POLICIES:
+            stats = runs[policy].stats
+            frac = 100.0 * stats.wasteful_lookup_fraction
+            wasteful[policy].append(frac)
+            wrow.append(frac)
+            if bam_transfers:
+                trow.append(100.0 * stats.t2_placements / bam_transfers)
+                trow.append(100.0 * stats.t2_fetches / bam_transfers)
+            else:
+                trow.extend([0.0, 0.0])
+        wasteful_rows.append(wrow)
+        traffic_rows.append(trow)
+
+    fig10a = ExperimentResult(
+        name="fig10a",
+        title="Figure 10(a): wasteful Tier-2 lookups (% of Tier-1 misses)",
+        headers=["app", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"],
+        rows=wasteful_rows,
+        extras={"wasteful": wasteful},
+    )
+    fig10b = ExperimentResult(
+        name="fig10b",
+        title=(
+            "Figure 10(b): Tier-1->Tier-2 placements / Tier-2->Tier-1 fetches "
+            "(% of BaM SSD transfers)"
+        ),
+        headers=[
+            "app",
+            "TO place", "TO fetch",
+            "Rand place", "Rand fetch",
+            "Reuse place", "Reuse fetch",
+        ],
+        rows=traffic_rows,
+    )
+    return [fig10a, fig10b]

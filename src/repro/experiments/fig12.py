@@ -1,0 +1,55 @@
+"""Figure 12: GMT-Reuse speedup over BaM across Tier-2:Tier-1 ratios.
+
+Paper caption: "Ratios = 2 (16GB, 32GB); 4 (16GB, 64GB); and 8 (16GB,
+128GB)".  The dataset is held fixed (the ratio-4 geometry's
+over-subscription-2 working set) while host memory grows; "speedups will
+increase since there is scope for a larger working set to be accommodated
+in Tier-2", most for Tier-2-biased applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import DEFAULT_SCALE
+from repro.experiments.harness import (
+    ExperimentResult,
+    app_label,
+    default_config,
+    run_app_with_footprint,
+)
+from repro.workloads.registry import WORKLOAD_NAMES
+
+RATIOS = (2, 4, 8)
+
+
+def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+    base = default_config(scale)
+    # Dataset fixed at the default geometry's working set.
+    footprint = base.working_set_frames()
+
+    rows: list[list[object]] = []
+    series: dict[int, list[float]] = {r: [] for r in RATIOS}
+    for app in WORKLOAD_NAMES:
+        row: list[object] = [app_label(app)]
+        for ratio in RATIOS:
+            cfg = replace(base, tier2_frames=base.tier1_frames * ratio)
+            bam = run_app_with_footprint(app, "bam", cfg, footprint)
+            reuse = run_app_with_footprint(app, "reuse", cfg, footprint)
+            s = reuse.speedup_over(bam)
+            series[ratio].append(s)
+            row.append(s)
+        rows.append(row)
+
+    return [
+        ExperimentResult(
+            name="fig12",
+            title=(
+                "Figure 12: GMT-Reuse speedup over BaM, Tier-2:Tier-1 ratio "
+                "in {2, 4, 8} (fixed dataset)"
+            ),
+            headers=["app", "ratio=2", "ratio=4", "ratio=8"],
+            rows=rows,
+            extras={"series": series},
+        )
+    ]

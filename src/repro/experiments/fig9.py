@@ -1,0 +1,46 @@
+"""Figure 9: GMT-Reuse's tier-prediction accuracy per application.
+
+A prediction resolves when its page returns to Tier-1 and the actual
+remaining VTD reveals the "correct" tier (section 2.1.3, step 2).  The
+paper's accuracies are high for the high-reuse applications (Srad,
+Backprop) and near-useless for LavaMD, whose single pass builds no
+history — both properties this harness checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DEFAULT_SCALE
+from repro.experiments.harness import (
+    ExperimentResult,
+    app_label,
+    default_config,
+    run_app,
+)
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+    config = default_config(scale)
+    rows: list[list[object]] = []
+    accuracies: dict[str, float] = {}
+    for app in WORKLOAD_NAMES:
+        stats = run_app(app, "reuse", config).stats
+        accuracies[app] = stats.prediction_accuracy
+        rows.append(
+            [
+                app_label(app),
+                stats.prediction_accuracy,
+                stats.resolved_predictions,
+                stats.predictions_made,
+                stats.fallback_placements,
+            ]
+        )
+    return [
+        ExperimentResult(
+            name="fig9",
+            title="Figure 9: GMT-Reuse prediction accuracy",
+            headers=["app", "accuracy", "resolved", "predictions", "fallbacks"],
+            rows=rows,
+            extras={"accuracies": accuracies},
+        )
+    ]

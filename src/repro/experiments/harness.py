@@ -1,0 +1,208 @@
+"""Shared experiment machinery: configs, cached runs, result containers.
+
+The paper's evaluation replays each application through four runtimes
+(BaM, GMT-TierOrder, GMT-Random, GMT-Reuse) and, for Figure 14, HMM.
+:func:`run_matrix` performs those replays with process-level caching so
+every figure built on the same geometry reuses the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis.report import render_table
+from repro.baselines.bam import BamRuntime
+from repro.baselines.hmm import HmmRuntime
+from repro.core.config import DEFAULT_SCALE, GMTConfig, PAPER_OVERSUBSCRIPTION
+from repro.core.runtime import GMTRuntime, RunResult
+from repro.errors import ConfigError
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload, normalize_name
+from repro.workloads.trace import Workload
+
+#: Runtime kinds accepted by :func:`run_app`.
+RUNTIME_KINDS = ("bam", "tier-order", "random", "reuse", "hmm", "dragon")
+
+#: Display names matching the paper's figures.
+RUNTIME_LABELS = {
+    "bam": "BaM",
+    "tier-order": "GMT-TierOrder",
+    "random": "GMT-Random",
+    "reuse": "GMT-Reuse",
+    "hmm": "HMM",
+    "dragon": "Dragon",
+}
+
+_workload_cache: dict[tuple, Workload] = {}
+_run_cache: dict[tuple, RunResult] = {}
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: headers + rows + free-form notes."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    notes: list[str] = field(default_factory=list)
+    #: Free-form side data for tests (means, per-app series, ...).
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header row first)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON rendering: name/title/headers/rows/notes (extras omitted —
+        they may hold non-serialisable analysis objects)."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            default=str,
+        )
+
+
+def default_config(scale: int = DEFAULT_SCALE, **overrides) -> GMTConfig:
+    """The section 3.1 geometry at ``1/scale`` bytes, with a sampling
+    window proportional to the scaled Tier-1 size."""
+    config = GMTConfig.paper_default(scale=scale, **overrides)
+    sample_target = max(1_000, config.tier1_frames * 20)
+    return replace(
+        config,
+        sample_target=sample_target,
+        sample_batch=max(100, sample_target // 10),
+    )
+
+
+def build_runtime(kind: str, config: GMTConfig) -> GMTRuntime:
+    """Instantiate one of the comparison runtimes over ``config``."""
+    if kind == "bam":
+        return BamRuntime(config)
+    if kind == "hmm":
+        return HmmRuntime(config)
+    if kind == "dragon":
+        from repro.baselines.dragon import DragonRuntime
+
+        return DragonRuntime(config)
+    if kind in ("tier-order", "random", "reuse"):
+        return GMTRuntime(config.with_policy(kind))
+    raise ConfigError(f"unknown runtime kind {kind!r}; expected one of {RUNTIME_KINDS}")
+
+
+def get_workload(
+    app: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+    **kwargs,
+) -> Workload:
+    """Cached workload instance (graph generation is the expensive part)."""
+    key = (
+        normalize_name(app),
+        config.working_set_frames(oversubscription),
+        seed,
+        tuple(sorted(kwargs.items())),
+    )
+    workload = _workload_cache.get(key)
+    if workload is None:
+        workload = make_workload(app, config, oversubscription, seed=seed, **kwargs)
+        _workload_cache[key] = workload
+    return workload
+
+
+def run_app(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> RunResult:
+    """Replay ``app`` through runtime ``kind`` (cached per process).
+
+    Note that the *workload footprint* is sized from ``config`` (Tier-1 +
+    Tier-2 frames x oversubscription) even for BaM, which then runs it
+    with Tier-2 disabled — exactly the paper's setup.
+    """
+    key = (normalize_name(app), kind, config, oversubscription, seed)
+    result = _run_cache.get(key)
+    if result is None:
+        workload = get_workload(app, config, oversubscription, seed=seed)
+        runtime = build_runtime(kind, config)
+        result = runtime.run(workload)
+        _run_cache[key] = result
+    return result
+
+
+def run_app_with_footprint(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    footprint_pages: int,
+    seed: int = 0,
+) -> RunResult:
+    """Replay ``app`` at an explicit footprint through runtime ``kind``.
+
+    Used by sweeps that vary the *memory geometry* while holding the
+    dataset fixed (Figure 12's Tier-2:Tier-1 ratio sweep).
+    """
+    key = (normalize_name(app), kind, config, "footprint", footprint_pages, seed)
+    result = _run_cache.get(key)
+    if result is None:
+        wkey = (normalize_name(app), footprint_pages, seed, ())
+        workload = _workload_cache.get(wkey)
+        if workload is None:
+            workload = make_workload(app, footprint_pages, seed=seed)
+            _workload_cache[wkey] = workload
+        runtime = build_runtime(kind, config)
+        result = runtime.run(workload)
+        _run_cache[key] = result
+    return result
+
+
+def run_matrix(
+    config: GMTConfig,
+    apps: tuple[str, ...] = WORKLOAD_NAMES,
+    kinds: tuple[str, ...] = ("bam", "tier-order", "random", "reuse"),
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> dict[str, dict[str, RunResult]]:
+    """All ``apps`` x ``kinds`` runs: ``{app: {kind: RunResult}}``."""
+    return {
+        app: {
+            kind: run_app(app, kind, config, oversubscription, seed) for kind in kinds
+        }
+        for app in apps
+    }
+
+
+def clear_caches() -> None:
+    """Drop cached workloads and runs (tests use this for isolation)."""
+    _workload_cache.clear()
+    _run_cache.clear()
+
+
+def app_label(app: str) -> str:
+    """Table 2 capitalisation for a registry key."""
+    from repro.workloads.registry import workload_class
+
+    return workload_class(app).name

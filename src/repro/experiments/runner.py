@@ -1,0 +1,75 @@
+"""CLI entry point: regenerate any (or every) paper table/figure.
+
+Usage::
+
+    python -m repro.experiments fig8 fig9 --scale 256
+    python -m repro.experiments all
+    gmt-experiments table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.core.config import DEFAULT_SCALE
+
+EXPERIMENTS = (
+    "table2",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "extensions",
+)
+
+
+def run_experiment(name: str, scale: int) -> list:
+    """Import and run one experiment module; returns its results."""
+    if name not in EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(f"repro.experiments.{name}")
+    return module.run(scale=scale)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gmt-experiments",
+        description="Regenerate the GMT paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"byte-scale divisor vs the paper's platform (default {DEFAULT_SCALE})",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        start = time.time()
+        results = run_experiment(name, args.scale)
+        for result in results:
+            print(result.to_text())
+            print()
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

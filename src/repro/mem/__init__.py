@@ -1,0 +1,27 @@
+"""Memory-management substrate shared by all runtimes (GMT, BaM, HMM).
+
+This subpackage models the mechanical pieces the paper builds on:
+
+- :mod:`repro.mem.page` — page identity, location, and dirty state;
+- :mod:`repro.mem.page_table` — the page table mapping page id -> state;
+- :mod:`repro.mem.tier` — a fixed-capacity pool of page frames;
+- :mod:`repro.mem.clock_replacement` — the clock (second chance) algorithm
+  used for Tier-1 (and Tier-2 under GMT-TierOrder), per paper section 2;
+- :mod:`repro.mem.fifo` — the simple FIFO eviction queue used for Tier-2,
+  per paper section 2.2.
+"""
+
+from repro.mem.clock_replacement import ClockReplacement
+from repro.mem.fifo import FifoQueue
+from repro.mem.page import PageLocation, PageState
+from repro.mem.page_table import PageTable
+from repro.mem.tier import Tier
+
+__all__ = [
+    "ClockReplacement",
+    "FifoQueue",
+    "PageLocation",
+    "PageState",
+    "PageTable",
+    "Tier",
+]

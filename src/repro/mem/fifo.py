@@ -1,0 +1,54 @@
+"""FIFO eviction order for Tier-2.
+
+Paper section 2.2: "If there is no such empty slot, then we evict a page
+using a simple FIFO mechanism in Tier-2."  Pages can also leave the queue
+out of order — a Tier-2 hit promotes the page to Tier-1 (no duplication
+across tiers), so the queue supports arbitrary removal.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageStateError
+
+
+class FifoQueue:
+    """Insertion-ordered set of pages with O(1) amortised pop-oldest.
+
+    Backed by a Python dict, whose insertion order gives FIFO order, and
+    which supports O(1) membership and deletion.
+    """
+
+    def __init__(self) -> None:
+        self._order: dict[int, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._order
+
+    def push(self, page: int) -> None:
+        """Append ``page`` at the tail (newest position)."""
+        if page in self._order:
+            raise PageStateError(f"page {page} already queued")
+        self._order[page] = None
+
+    def pop_oldest(self) -> int:
+        """Remove and return the page at the head (oldest position)."""
+        try:
+            page = next(iter(self._order))
+        except StopIteration:
+            raise PageStateError("FIFO queue is empty") from None
+        del self._order[page]
+        return page
+
+    def remove(self, page: int) -> None:
+        """Remove ``page`` from anywhere in the queue (Tier-2 hit path)."""
+        try:
+            del self._order[page]
+        except KeyError:
+            raise PageStateError(f"page {page} not queued") from None
+
+    def pages(self) -> list[int]:
+        """Snapshot in FIFO order (oldest first); test helper."""
+        return list(self._order)

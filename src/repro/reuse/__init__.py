@@ -1,0 +1,33 @@
+"""Reuse-distance machinery behind GMT-Reuse (paper section 2.1.3).
+
+- :mod:`repro.reuse.distance` — exact (unique) reuse distances via the
+  classic Fenwick/order-statistic-tree algorithm, the "tree-based method
+  [13, 17]" the paper's CPU helper thread runs;
+- :mod:`repro.reuse.vtd` — Virtual Timestamp Distance tracking, the cheap
+  proxy the GPU maintains with one global counter + per-page timestamps;
+- :mod:`repro.reuse.sampler` — collection of (VTD, RD) training pairs early
+  in the execution, pipelined to the regression every N samples;
+- :mod:`repro.reuse.regression` — incremental Ordinary Least Squares giving
+  the linear map RD = m * VTD + b (Eq. 2/3);
+- :mod:`repro.reuse.classifier` — Eq. 1's short/medium/long categories;
+- :mod:`repro.reuse.markov` — the 3-state Markov-chain tier predictor
+  (Fig. 5) built on 2-level per-page eviction history.
+"""
+
+from repro.reuse.classifier import ReuseClass, RRDClassifier
+from repro.reuse.distance import ReuseDistanceTracker
+from repro.reuse.markov import MarkovTierPredictor
+from repro.reuse.regression import IncrementalOLS, fit_ols
+from repro.reuse.sampler import VTDSampler
+from repro.reuse.vtd import VirtualTimestampClock
+
+__all__ = [
+    "IncrementalOLS",
+    "MarkovTierPredictor",
+    "ReuseClass",
+    "ReuseDistanceTracker",
+    "RRDClassifier",
+    "VTDSampler",
+    "VirtualTimestampClock",
+    "fit_ols",
+]

@@ -1,0 +1,113 @@
+"""Ordinary Least Squares for the VTD -> reuse-distance linear map.
+
+Paper Eq. 2/3: ``RD = m * VTD + b`` and ``RRD = m * RVTD + b``.  The CPU
+helper thread "performs an Ordinary Least Squares (OLS) regression on those
+samples to get coefficients, slope m and offset b"; samples arrive in
+pipelined batches and the fit "iteratively improves on the regression from
+the prior set of samples".  :class:`IncrementalOLS` therefore accumulates
+sufficient statistics so each new batch refines, rather than replaces, the
+model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted ``y = m * x + b`` line."""
+
+    m: float
+    b: float
+
+    def predict(self, x: float) -> float:
+        return self.m * x + self.b
+
+
+def fit_ols(xs: Sequence[float], ys: Sequence[float]) -> LinearModel:
+    """One-shot OLS fit (closed form).  Requires >= 2 points with x-variance.
+
+    Raises:
+        ValueError: on too few points or zero variance in ``xs``.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    ols = IncrementalOLS()
+    ols.update(xs, ys)
+    return ols.model()
+
+
+class IncrementalOLS:
+    """OLS over a growing sample set via running sufficient statistics.
+
+    Keeps n, sum(x), sum(y), sum(x^2), sum(x*y); a fit is O(1) from these.
+    Numerically adequate here because VTDs and RDs are modest non-negative
+    integers (bounded by trace length).
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._sum_x = 0.0
+        self._sum_y = 0.0
+        self._sum_xx = 0.0
+        self._sum_xy = 0.0
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def add(self, x: float, y: float) -> None:
+        """Incorporate one (x, y) sample."""
+        self._n += 1
+        self._sum_x += x
+        self._sum_y += y
+        self._sum_xx += x * x
+        self._sum_xy += x * y
+
+    def update(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Incorporate a batch of samples (one pipelined flush)."""
+        if len(xs) != len(ys):
+            raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+        for x, y in zip(xs, ys):
+            self.add(x, y)
+
+    @property
+    def ready(self) -> bool:
+        """True when a line (or its degenerate fallback) can be fit."""
+        if self._n < 2:
+            return False
+        return self._x_variance_numerator() > self._degenerate_threshold() or (
+            self._sum_x > 0.0
+        )
+
+    def _x_variance_numerator(self) -> float:
+        return self._n * self._sum_xx - self._sum_x * self._sum_x
+
+    def _degenerate_threshold(self) -> float:
+        # Relative cutoff below which the xs are effectively constant.
+        return 1e-9 * max(1.0, self._n * self._sum_xx)
+
+    def model(self) -> LinearModel:
+        """Fit and return the current line.
+
+        Perfectly periodic workloads (e.g. fixed-order grid sweeps) produce
+        a *constant* VTD: zero x-variance, so the OLS slope is undefined.
+        The natural degenerate fit is the ratio estimator through the
+        origin, ``m = mean(y)/mean(x)`` — proportionality is exactly the
+        relation Figure 4(a) observes.
+
+        Raises:
+            ValueError: if :attr:`ready` is false.
+        """
+        if self._n < 2:
+            raise ValueError(f"cannot fit OLS: n={self._n}")
+        denom = self._x_variance_numerator()
+        if denom <= self._degenerate_threshold():
+            if self._sum_x <= 0.0:
+                raise ValueError("cannot fit OLS: xs are constant at zero")
+            return LinearModel(m=self._sum_y / self._sum_x, b=0.0)
+        m = (self._n * self._sum_xy - self._sum_x * self._sum_y) / denom
+        b = (self._sum_y - m * self._sum_x) / self._n
+        return LinearModel(m=m, b=b)

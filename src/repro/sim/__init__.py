@@ -1,0 +1,43 @@
+"""Simulated platform substituting for the paper's A100 + Xeon + NVMe testbed.
+
+The reproduction is trace-driven: workloads produce the page-access stream
+a GPU kernel would generate, and these models price every data movement
+with the paper's measured constants (section 3.4: SSD fetch ~130 us, host
+fetch ~50 us, Tier-2 lookup ~50 ns) plus device bandwidth/parallelism
+limits.  See DESIGN.md section 2 for the substitution rationale.
+
+- :mod:`repro.sim.latency` — the platform constant sheet;
+- :mod:`repro.sim.pcie` — PCIe link bandwidth/traffic accounting;
+- :mod:`repro.sim.nvme` — NVMe SSD with queue-pair parallelism (BaM model);
+- :mod:`repro.sim.transfer` — Tier-1<->Tier-2 engines: cudaMemcpyAsync DMA,
+  warp zero-copy, and Hybrid-XT (paper section 2.3, Fig. 6);
+- :mod:`repro.sim.gpu` — SIMT warps and per-warp access coalescing;
+- :mod:`repro.sim.cost` — the max-of-bottlenecks execution-time model.
+"""
+
+from repro.sim.cost import CostModel
+from repro.sim.gpu import WarpAccess, coalesce
+from repro.sim.latency import PlatformModel
+from repro.sim.nvme import NvmeSSD
+from repro.sim.pcie import PCIeLink
+from repro.sim.transfer import (
+    DmaEngine,
+    HybridEngine,
+    TransferEngine,
+    ZeroCopyEngine,
+    make_engine,
+)
+
+__all__ = [
+    "CostModel",
+    "DmaEngine",
+    "HybridEngine",
+    "NvmeSSD",
+    "PCIeLink",
+    "PlatformModel",
+    "TransferEngine",
+    "WarpAccess",
+    "ZeroCopyEngine",
+    "coalesce",
+    "make_engine",
+]

@@ -1,0 +1,109 @@
+"""Platform constant sheet for the simulated testbed.
+
+Defaults reproduce the paper's measurements on the Table 1 platform
+(A100-40GB PCIe Gen3 x16, Xeon Gold 6226, Samsung 970 EVO Plus Gen3 x4):
+
+- section 3.4: "Retrieving a page from host memory is faster (around 50 us)
+  than retrieving it from the SSD (around 130 us)"; an unsuccessful Tier-2
+  lookup "adds to latencies (around 50 ns) in the critical path".
+- Device datasheets: ~3.5 GB/s sequential read for the 970 EVO Plus and
+  ~12 GB/s practical for PCIe Gen3 x16.
+- ``gpu_fault_concurrency`` models the thousands of GPU threads that fault
+  concurrently (BaM's core advantage); ``host_fault_concurrency`` and
+  ``host_fault_overhead_ns`` model the few host cores + host software stack
+  that serialize CPU-orchestrated designs (Dragon/HMM), per section 3.6.
+
+Every constant is a dataclass field, so sensitivity studies and unit tests
+can build alternative platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.units import GiB, NSEC, USEC
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """All latency/bandwidth/parallelism constants of the simulated testbed."""
+
+    # --- critical-path latencies (ns) -----------------------------------
+    ssd_read_latency_ns: float = 130.0 * USEC
+    ssd_write_latency_ns: float = 30.0 * USEC
+    host_fetch_latency_ns: float = 50.0 * USEC
+    tier2_lookup_ns: float = 50.0 * NSEC
+    #: Cost of evicting a page out of Tier-2 to make room: the GPU runs
+    #: the replacement mechanism over host-resident metadata (several PCIe
+    #: round trips), unmaps the page and frees its slot.  Section 2.1.1
+    #: lists "the additional cost of a replacement mechanism for host
+    #: memory" among GMT-TierOrder's drawbacks — this is that cost.
+    tier2_eviction_ns: float = 8.0 * USEC
+    #: Per coalesced access compute/issue cost on the GPU (hit path).
+    gpu_access_ns: float = 200.0 * NSEC
+
+    # --- bandwidths (bytes/second) ---------------------------------------
+    pcie_bandwidth: float = 12.0 * GiB  # practical Gen3 x16
+    ssd_read_bandwidth: float = 3.5 * GiB  # 970 EVO Plus sequential read
+    ssd_write_bandwidth: float = 3.3 * GiB
+
+    # --- parallelism ------------------------------------------------------
+    #: In-flight demand misses the GPU sustains (warps parked on faults).
+    gpu_fault_concurrency: int = 128
+    #: NVMe queue depth reachable from GPU-resident queues (BaM).
+    nvme_queue_depth: int = 256
+
+    # --- CPU-orchestrated (HMM/Dragon) overheads --------------------------
+    #: Concurrent faults the host software stack services (limited cores).
+    host_fault_concurrency: int = 6
+    #: Host software cost per fault: interrupt, driver, page-cache lookup,
+    #: page-table update, TLB shootdown.
+    host_fault_overhead_ns: float = 60.0 * USEC
+    #: Effective SSD bandwidth via the host page cache (4 KiB-granular
+    #: faults, readahead waste, kernel copies) is far below the raw device
+    #: bandwidth BaM's GPU-resident NVMe queues sustain.
+    host_pagecache_ssd_bandwidth: float = 1.0 * GiB
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "ssd_read_latency_ns",
+            "ssd_write_latency_ns",
+            "host_fetch_latency_ns",
+            "pcie_bandwidth",
+            "ssd_read_bandwidth",
+            "ssd_write_bandwidth",
+            "gpu_fault_concurrency",
+            "nvme_queue_depth",
+            "host_fault_concurrency",
+            "host_pagecache_ssd_bandwidth",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"PlatformModel.{name} must be positive")
+        for name in (
+            "tier2_lookup_ns",
+            "tier2_eviction_ns",
+            "gpu_access_ns",
+            "host_fault_overhead_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"PlatformModel.{name} must be non-negative")
+
+    def with_ssd_array(self, num_ssds: int) -> "PlatformModel":
+        """Platform with ``num_ssds`` SSDs striped behind the NVMe layer.
+
+        BaM's design explicitly scales across SSD arrays (its GPU-resident
+        queues address many drives); aggregate bandwidth and queue depth
+        scale with the drive count while per-command latency stays fixed.
+        Used by the SSD-scaling extension study: as drives are added the
+        SSD stops being the bottleneck and Tier-2's value shrinks.
+        """
+        if num_ssds < 1:
+            raise ConfigError(f"num_ssds must be >= 1, got {num_ssds}")
+        return replace(
+            self,
+            ssd_read_bandwidth=self.ssd_read_bandwidth * num_ssds,
+            ssd_write_bandwidth=self.ssd_write_bandwidth * num_ssds,
+            nvme_queue_depth=self.nvme_queue_depth * num_ssds,
+        )

@@ -1,0 +1,77 @@
+"""PCIe link model: traffic accounting plus analytic transfer times.
+
+The link connects GPU memory to both host memory and the SSD (Table 1:
+PCIe Gen3 x16 to the host, Gen3 x4 to the SSD).  Figure 10(b)'s
+"more PCIe bus transfers" cost of Tier-2 policies is exactly the byte
+accounting this class keeps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.units import SEC, format_bytes
+
+
+class PCIeLink:
+    """Bandwidth-limited link with per-direction byte counters.
+
+    Directions follow CUDA convention: *h2d* host-to-device (GPU reads
+    host memory / fetch from Tier-2), *d2h* device-to-host (evictions into
+    Tier-2).
+    """
+
+    def __init__(self, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth  # bytes per second
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.h2d_transfers = 0
+        self.d2h_transfers = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+    @property
+    def total_transfers(self) -> int:
+        return self.h2d_transfers + self.d2h_transfers
+
+    def record_h2d(self, num_bytes: int) -> None:
+        """Account a host->GPU transfer (Tier-2 -> Tier-1 fetch)."""
+        self._check(num_bytes)
+        self.h2d_bytes += num_bytes
+        self.h2d_transfers += 1
+
+    def record_d2h(self, num_bytes: int) -> None:
+        """Account a GPU->host transfer (Tier-1 -> Tier-2 placement)."""
+        self._check(num_bytes)
+        self.d2h_bytes += num_bytes
+        self.d2h_transfers += 1
+
+    def wire_time_ns(self, num_bytes: int) -> float:
+        """Pure serialization time of ``num_bytes`` on the link."""
+        self._check(num_bytes)
+        return num_bytes / self.bandwidth * SEC
+
+    def busy_time_ns(self) -> float:
+        """Total time the link must have been busy for the recorded bytes —
+        the link's contribution to the execution-time lower bound."""
+        return self.total_bytes / self.bandwidth * SEC
+
+    def reset(self) -> None:
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.h2d_transfers = 0
+        self.d2h_transfers = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PCIeLink(h2d={format_bytes(self.h2d_bytes)}, "
+            f"d2h={format_bytes(self.d2h_bytes)})"
+        )
+
+    @staticmethod
+    def _check(num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise SimulationError(f"negative transfer size: {num_bytes}")

@@ -1,0 +1,83 @@
+"""Named platform presets and calibration helpers.
+
+:data:`PAPER_PLATFORM` encodes Table 1's testbed with section 3.4's
+measured latencies — the default everywhere.  The other presets let users
+ask "what would GMT do on *my* box" without hunting datasheets; each
+documents its provenance.  :func:`calibrate` builds a platform from a
+user's own microbenchmark numbers, validating units and plausibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+
+from repro.errors import ConfigError
+from repro.sim.latency import PlatformModel
+from repro.units import GiB, USEC
+
+#: Table 1: A100-40GB PCIe, Xeon Gold 6226, Samsung 970 EVO Plus (Gen3 x4),
+#: PCIe Gen3 x16 — with the section 3.4 measured latencies.
+PAPER_PLATFORM = PlatformModel()
+
+#: A PCIe Gen4 refresh of the same shape: A100/H100-class GPU on Gen4 x16
+#: (~24 GiB/s practical) with a Gen4 x4 SSD (980 Pro-class: ~7/5 GiB/s,
+#: ~90 us random 64 KiB read under load).
+GEN4_PLATFORM = replace(
+    PAPER_PLATFORM,
+    pcie_bandwidth=24.0 * GiB,
+    ssd_read_bandwidth=7.0 * GiB,
+    ssd_write_bandwidth=5.0 * GiB,
+    ssd_read_latency_ns=90.0 * USEC,
+    ssd_write_latency_ns=20.0 * USEC,
+    host_fetch_latency_ns=35.0 * USEC,
+)
+
+#: Coherent-interconnect direction (Grace-Hopper/CXL-ish): host memory a
+#: few hundred ns away over a ~100 GiB/s link.  Tier-2 lookups and fetches
+#: become dramatically cheaper; SSDs unchanged (Gen4 x4).
+COHERENT_LINK_PLATFORM = replace(
+    GEN4_PLATFORM,
+    pcie_bandwidth=100.0 * GiB,
+    host_fetch_latency_ns=2.0 * USEC,
+    tier2_lookup_ns=25.0,
+)
+
+PLATFORM_PRESETS: dict[str, PlatformModel] = {
+    "paper": PAPER_PLATFORM,
+    "gen4": GEN4_PLATFORM,
+    "coherent": COHERENT_LINK_PLATFORM,
+}
+
+
+def get_platform(name: str) -> PlatformModel:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in PLATFORM_PRESETS:
+        raise ConfigError(
+            f"unknown platform {name!r}; presets: {', '.join(PLATFORM_PRESETS)}"
+        )
+    return PLATFORM_PRESETS[key]
+
+
+def calibrate(base: PlatformModel | str = "paper", **measured) -> PlatformModel:
+    """Build a platform from measured numbers on top of a preset.
+
+    Args:
+        base: preset name or an existing :class:`PlatformModel`.
+        **measured: any PlatformModel field, e.g.
+            ``calibrate(ssd_read_latency_ns=95_000, pcie_bandwidth=20*GiB)``.
+
+    Raises:
+        ConfigError: unknown field names or invalid values (validation is
+            PlatformModel's own).
+    """
+    if isinstance(base, str):
+        base = get_platform(base)
+    valid = {f.name for f in fields(PlatformModel)}
+    unknown = set(measured) - valid
+    if unknown:
+        raise ConfigError(
+            f"unknown platform fields: {', '.join(sorted(unknown))}; "
+            f"valid: {', '.join(sorted(valid))}"
+        )
+    return replace(base, **measured)

@@ -1,0 +1,185 @@
+"""Tier-1 <-> Tier-2 transfer engines (paper section 2.3, Figure 6).
+
+The paper weighs two mechanisms for GPU memory <-> host memory movement:
+
+- ``cudaMemcpyAsync`` — "the DMA is employed to move data between them,
+  initiated by a single GPU thread".  Each *non-contiguous* page needs its
+  own copy descriptor and the single DMA engine serializes them, so cost
+  grows linearly with a per-call overhead per page.
+- *zero-copy* — "several GPU threads (typically in a warp) directly employ
+  load-store instructions on pinned CPU memory".  Throughput scales with
+  the number of threads lending their load/store slots, but the pages must
+  first be pinned "(to avoid replacement) before the zero-copy is
+  performed", a fixed overhead that small transfers cannot amortise.
+
+Figure 6(a) shows the crossover at ~8 non-contiguous pages; Hybrid-XT
+"uses zero-copy only when (a) the number of pages to be transferred
+exceeds 8 ... and (b) we can employ at least 'X' threads in a warp",
+with Hybrid-32T the overall winner (Figure 6(b)) and the engine GMT uses.
+
+Default constants are fitted to place the crossover at 8 pages with the
+platform's PCIe generation; they are constructor arguments so Figure 6's
+sweeps (and sensitivity tests) can move them.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import SimulationError
+from repro.units import GiB, PAGE_SIZE, SEC, USEC
+
+#: Threads in a warp on every CUDA GPU; the maximum X for Hybrid-XT.
+WARP_SIZE = 32
+
+
+class TransferEngine(abc.ABC):
+    """Prices the movement of a batch of non-contiguous 64 KB pages."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def transfer_time_ns(
+        self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
+    ) -> float:
+        """Time to move ``num_pages`` non-contiguous pages when
+        ``available_threads`` warp lanes can help with the copy."""
+
+    @abc.abstractmethod
+    def mechanism(self, num_pages: int, available_threads: int = WARP_SIZE) -> str:
+        """Which underlying mechanism ('dma' or 'zero-copy') would move
+        this batch — what Hybrid-XT actually decides."""
+
+    def efficiency(
+        self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
+    ) -> float:
+        """Delivered bytes/second for the batch (Figure 6(a)'s y-axis)."""
+        time_ns = self.transfer_time_ns(num_pages, available_threads, page_size)
+        if time_ns <= 0:
+            return 0.0
+        return num_pages * page_size / (time_ns / SEC)
+
+    @staticmethod
+    def _validate(num_pages: int, available_threads: int) -> None:
+        if num_pages < 0:
+            raise SimulationError(f"negative page count: {num_pages}")
+        if not 1 <= available_threads <= WARP_SIZE:
+            raise SimulationError(
+                f"available_threads must be in 1..{WARP_SIZE}, got {available_threads}"
+            )
+
+
+class DmaEngine(TransferEngine):
+    """``cudaMemcpyAsync``: per-descriptor overhead, serialized on one DMA."""
+
+    name = "cudaMemcpyAsync"
+
+    def __init__(
+        self, call_overhead_ns: float = 1.5 * USEC, bandwidth: float = 10.0 * GiB
+    ) -> None:
+        if call_overhead_ns < 0 or bandwidth <= 0:
+            raise SimulationError("invalid DMA engine constants")
+        self.call_overhead_ns = call_overhead_ns
+        self.bandwidth = bandwidth
+
+    def transfer_time_ns(
+        self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
+    ) -> float:
+        self._validate(num_pages, available_threads)
+        per_page = self.call_overhead_ns + page_size / self.bandwidth * SEC
+        return num_pages * per_page
+
+    def mechanism(self, num_pages: int, available_threads: int = WARP_SIZE) -> str:
+        return "dma"
+
+
+class ZeroCopyEngine(TransferEngine):
+    """Warp load/store on pinned host memory: pin once, copy in parallel.
+
+    Effective copy bandwidth scales with the participating threads, up to
+    the full-warp peak; the pinning overhead is paid per batch.
+    """
+
+    name = "zero-copy"
+
+    def __init__(
+        self, pin_overhead_ns: float = 36.0 * USEC, warp_bandwidth: float = 20.0 * GiB
+    ) -> None:
+        if pin_overhead_ns < 0 or warp_bandwidth <= 0:
+            raise SimulationError("invalid zero-copy engine constants")
+        self.pin_overhead_ns = pin_overhead_ns
+        self.warp_bandwidth = warp_bandwidth
+
+    def copy_bandwidth(self, available_threads: int) -> float:
+        """Delivered load/store bandwidth with ``available_threads`` lanes."""
+        return self.warp_bandwidth * available_threads / WARP_SIZE
+
+    def transfer_time_ns(
+        self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
+    ) -> float:
+        self._validate(num_pages, available_threads)
+        if num_pages == 0:
+            return 0.0
+        wire = num_pages * page_size / self.copy_bandwidth(available_threads) * SEC
+        return self.pin_overhead_ns + wire
+
+    def mechanism(self, num_pages: int, available_threads: int = WARP_SIZE) -> str:
+        return "zero-copy"
+
+
+class HybridEngine(TransferEngine):
+    """Hybrid-XT: zero-copy only for batches of >= ``page_threshold`` pages
+    *and* >= ``min_threads`` helping lanes; DMA otherwise.
+
+    ``HybridEngine(min_threads=32)`` is the paper's Hybrid-32T, GMT's
+    production engine.
+    """
+
+    def __init__(
+        self,
+        min_threads: int = WARP_SIZE,
+        page_threshold: int = 8,
+        dma: DmaEngine | None = None,
+        zero_copy: ZeroCopyEngine | None = None,
+    ) -> None:
+        if not 1 <= min_threads <= WARP_SIZE:
+            raise SimulationError(f"min_threads must be in 1..{WARP_SIZE}")
+        if page_threshold < 1:
+            raise SimulationError(f"page_threshold must be >= 1, got {page_threshold}")
+        self.min_threads = min_threads
+        self.page_threshold = page_threshold
+        self.dma = dma or DmaEngine()
+        self.zero_copy = zero_copy or ZeroCopyEngine()
+        self.name = f"Hybrid-{min_threads}T"
+
+    def mechanism(self, num_pages: int, available_threads: int = WARP_SIZE) -> str:
+        self._validate(num_pages, available_threads)
+        use_zero_copy = num_pages >= self.page_threshold and available_threads >= self.min_threads
+        return "zero-copy" if use_zero_copy else "dma"
+
+    def transfer_time_ns(
+        self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
+    ) -> float:
+        if self.mechanism(num_pages, available_threads) == "zero-copy":
+            return self.zero_copy.transfer_time_ns(num_pages, available_threads, page_size)
+        return self.dma.transfer_time_ns(num_pages, available_threads, page_size)
+
+
+def make_engine(name: str) -> TransferEngine:
+    """Build an engine from a spec string.
+
+    Accepted: ``"dma"``, ``"zero-copy"``, ``"hybrid-8t"``, ``"hybrid-16t"``,
+    ``"hybrid-32t"`` (case-insensitive).
+    """
+    key = name.strip().lower()
+    if key in ("dma", "cudamemcpyasync"):
+        return DmaEngine()
+    if key in ("zero-copy", "zerocopy", "zc"):
+        return ZeroCopyEngine()
+    if key.startswith("hybrid-") and key.endswith("t"):
+        try:
+            threads = int(key[len("hybrid-") : -1])
+        except ValueError:
+            raise SimulationError(f"unknown transfer engine: {name!r}") from None
+        return HybridEngine(min_threads=threads)
+    raise SimulationError(f"unknown transfer engine: {name!r}")

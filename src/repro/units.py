@@ -1,0 +1,62 @@
+"""Size and time units used throughout the GMT reproduction.
+
+The paper manages memory at a fixed 64 KB page granularity (the NVIDIA UVM
+default) and reports latencies in nanoseconds/microseconds.  All simulated
+time in this package is kept in *nanoseconds* as plain floats, and all sizes
+in *bytes* as plain ints; these helpers exist so call sites read like the
+paper ("``4 * GiB``", "``130 * USEC``") instead of raw powers of two.
+"""
+
+from __future__ import annotations
+
+# --- sizes (bytes) ---------------------------------------------------------
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+#: GMT's unit of placement/movement (paper section 2, "Granularity").
+PAGE_SIZE: int = 64 * KiB
+
+# --- time (nanoseconds) ----------------------------------------------------
+
+NSEC: float = 1.0
+USEC: float = 1_000.0
+MSEC: float = 1_000_000.0
+SEC: float = 1_000_000_000.0
+
+
+def pages_for_bytes(num_bytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages needed to hold ``num_bytes`` (rounded up)."""
+    if num_bytes < 0:
+        raise ValueError(f"negative size: {num_bytes}")
+    return -(-num_bytes // page_size)
+
+
+def bytes_for_pages(num_pages: int, page_size: int = PAGE_SIZE) -> int:
+    """Total bytes occupied by ``num_pages`` whole pages."""
+    if num_pages < 0:
+        raise ValueError(f"negative page count: {num_pages}")
+    return num_pages * page_size
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``format_bytes(64 * GiB) == '64.0 GiB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(ns: float) -> str:
+    """Human-readable duration from nanoseconds, e.g. ``'130.0 us'``."""
+    if abs(ns) < USEC:
+        return f"{ns:.1f} ns"
+    if abs(ns) < MSEC:
+        return f"{ns / USEC:.1f} us"
+    if abs(ns) < SEC:
+        return f"{ns / MSEC:.1f} ms"
+    return f"{ns / SEC:.3f} s"

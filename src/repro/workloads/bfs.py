@@ -1,0 +1,55 @@
+"""BFS: breadth-first search over an RMAT graph (BaM suite, GAP-Kron).
+
+Table 2 shape: ~33 % page reuse, Tier-2-biased RRDs.  A real
+level-synchronous BFS is executed: each level reads the frontier's
+distance pages and the edge pages spanned by its adjacency lists, then
+writes the discovered neighbours' distance pages.  Vertex-property pages
+recur level after level (medium distances); most edge pages are touched
+in one or two expansion levels only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.sim.gpu import WarpAccess
+from repro.workloads.graph_common import GraphWorkload, gather_neighbors
+from repro.workloads.trace import stream_warps
+
+
+class BFSWorkload(GraphWorkload):
+    """Level-synchronous BFS from the highest-degree vertex."""
+
+    name = "BFS"
+    description = "Graph traversal, data-dependent vertex/edge accesses (BaM)"
+
+    def generate(self) -> Iterator[WarpAccess]:
+        graph = self.graph
+        pages = self.page_map
+        dist = np.full(graph.num_vertices, -1, dtype=np.int32)
+        source = self.highest_degree_vertex()
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            # Read the frontier's own property pages (distance/state).
+            yield from stream_warps(
+                pages.vertex_pages_array(frontier, array=0).tolist(), pages_per_warp=2
+            )
+            # Read the edge pages its adjacency lists span.
+            starts = graph.offsets[frontier]
+            ends = graph.offsets[frontier + 1]
+            edge_pages = pages.edge_pages_for_ranges(starts, ends)
+            yield from stream_warps(edge_pages.tolist(), pages_per_warp=2)
+            # Visit neighbours: check + update their distance pages.
+            neighbors = np.unique(gather_neighbors(graph, frontier))
+            if neighbors.size == 0:
+                break
+            unvisited = neighbors[dist[neighbors] < 0]
+            touched = pages.vertex_pages_array(neighbors, array=1)
+            yield from stream_warps(touched.tolist(), write=True, pages_per_warp=2)
+            dist[unvisited] = level
+            frontier = unvisited.astype(np.int64)

@@ -1,0 +1,82 @@
+"""Edge-list graph I/O — run the graph workloads on real datasets.
+
+The paper evaluates BFS/PageRank/SSSP on GAP-Kron; users reproducing on
+their own graphs (SNAP-style edge lists, Graph500 outputs) can load them
+here and hand the CSR to any :class:`~repro.workloads.graph_common.GraphWorkload`
+subclass via its ``graph=`` parameter:
+
+>>> graph = load_csr("soc-live.txt")
+>>> workload = PageRankWorkload(footprint_pages=0, graph=graph)
+
+Formats: whitespace- or comma-separated ``src dst`` pairs, one edge per
+line; ``#``- or ``%``-prefixed comment lines ignored (covers SNAP and
+Matrix-Market-ish headers).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.kron import CSRGraph, build_csr
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def load_edge_list(path: str | Path) -> np.ndarray:
+    """Parse ``path`` into an (E, 2) int64 edge array.
+
+    Raises:
+        TraceError: missing file, no edges, malformed lines, or negative
+            vertex ids.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no edge-list file at {path}")
+    src: list[int] = []
+    dst: list[int] = []
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = text.replace(",", " ").split()
+            if len(parts) < 2:
+                raise TraceError(f"{path}:{line_no}: expected 'src dst', got {text!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_no}: non-integer endpoint in {text!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise TraceError(f"{path}:{line_no}: negative vertex id in {text!r}")
+            src.append(u)
+            dst.append(v)
+    if not src:
+        raise TraceError(f"{path}: no edges found")
+    return np.column_stack([np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)])
+
+
+def save_edge_list(edges: np.ndarray, path: str | Path, header: str | None = None) -> None:
+    """Write an (E, 2) edge array as a plain ``src dst`` text file."""
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise TraceError(f"edges must be (E, 2), got shape {edges.shape}")
+    path = Path(path)
+    with path.open("w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in edges:
+            handle.write(f"{int(u)} {int(v)}\n")
+
+
+def load_csr(path: str | Path, num_vertices: int | None = None) -> CSRGraph:
+    """Load an edge list and build its CSR (vertex count inferred unless
+    given)."""
+    edges = load_edge_list(path)
+    if num_vertices is None:
+        num_vertices = int(edges.max()) + 1
+    return build_csr(edges, num_vertices=num_vertices)

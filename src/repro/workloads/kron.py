@@ -1,0 +1,163 @@
+"""Synthetic Kronecker (RMAT) graphs — the GAP-Kron stand-in.
+
+The paper's graph workloads (BFS, PageRank, SSSP, from the BaM suite) run
+over GAP-Kron [15], a Graph500-style RMAT graph.  Without the original
+multi-hundred-GB dataset we generate RMAT graphs with the Graph500
+parameters (a=0.57, b=0.19, c=0.19, d=0.05), which preserve what matters
+for memory tiering: power-law degree skew (a few hub pages are hot) and
+unstructured, data-dependent access order.
+
+:class:`GraphPageMap` lays the CSR arrays out over 64 KB pages.  The
+*elements-per-page* knobs are deliberately configurable: scaled-down
+experiments shrink elements-per-page instead of the graph's structure, so
+the page-level access pattern keeps its shape at a tractable trace length
+(DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Compressed-sparse-row directed graph."""
+
+    offsets: np.ndarray  # int64[V + 1]
+    targets: np.ndarray  # int32[E]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.targets[self.offsets[vertex] : self.offsets[vertex + 1]]
+
+    def out_degree(self, vertex: int) -> int:
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate ``edge_factor * 2**scale`` RMAT edges (Graph500 defaults).
+
+    Returns an ``(E, 2)`` int array of (src, dst) pairs, possibly with
+    duplicates and self-loops, exactly as the generator specifies.
+    """
+    if scale < 1 or scale > 30:
+        raise TraceError(f"scale must be in 1..30, got {scale}")
+    if edge_factor < 1:
+        raise TraceError(f"edge_factor must be >= 1, got {edge_factor}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise TraceError(f"invalid RMAT probabilities a={a} b={b} c={c} (d={d})")
+    rng = np.random.default_rng(seed)
+    num_edges = edge_factor * (1 << scale)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(num_edges)
+        # Quadrant choice: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        down = r >= a + b
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    return np.column_stack([src, dst])
+
+
+def build_csr(edges: np.ndarray, num_vertices: int) -> CSRGraph:
+    """Sort an edge list into CSR form (multi-edges kept, as Graph500 does)."""
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise TraceError(f"edges must be (E, 2), got shape {edges.shape}")
+    if len(edges) and int(edges.max()) >= num_vertices:
+        raise TraceError("edge endpoint out of range")
+    order = np.argsort(edges[:, 0], kind="stable")
+    sorted_edges = edges[order]
+    counts = np.bincount(sorted_edges[:, 0], minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return CSRGraph(offsets=offsets, targets=sorted_edges[:, 1].astype(np.int32))
+
+
+def rmat_csr(scale: int, edge_factor: int = 16, seed: int = 0) -> CSRGraph:
+    """Convenience: RMAT edge list -> CSR with ``2**scale`` vertices."""
+    edges = rmat_edges(scale, edge_factor, seed=seed)
+    return build_csr(edges, num_vertices=1 << scale)
+
+
+@dataclass(frozen=True)
+class GraphPageMap:
+    """Layout of CSR arrays over 64 KB pages.
+
+    Address space: ``[0, num_property_arrays * vertex_pages)`` holds the
+    per-vertex property arrays (ranks, distances, visited flags, ...) one
+    after another, followed by the edge (CSR target) array.
+    """
+
+    num_vertices: int
+    num_edges: int
+    vertices_per_page: int
+    edges_per_page: int
+    num_property_arrays: int = 2
+
+    def __post_init__(self) -> None:
+        if self.vertices_per_page < 1 or self.edges_per_page < 1:
+            raise TraceError("elements-per-page must be >= 1")
+        if self.num_property_arrays < 1:
+            raise TraceError("need at least one vertex property array")
+
+    @property
+    def vertex_array_pages(self) -> int:
+        """Pages of ONE per-vertex property array."""
+        return -(-self.num_vertices // self.vertices_per_page)
+
+    @property
+    def edge_pages(self) -> int:
+        return -(-self.num_edges // self.edges_per_page)
+
+    @property
+    def total_pages(self) -> int:
+        return self.num_property_arrays * self.vertex_array_pages + self.edge_pages
+
+    def vertex_page(self, vertex: int, array: int = 0) -> int:
+        """Page holding ``vertex``'s slot in property ``array``."""
+        if not 0 <= array < self.num_property_arrays:
+            raise TraceError(f"array index {array} out of range")
+        return array * self.vertex_array_pages + vertex // self.vertices_per_page
+
+    def edge_page(self, edge_index: int) -> int:
+        """Page holding CSR target slot ``edge_index``."""
+        return (
+            self.num_property_arrays * self.vertex_array_pages
+            + edge_index // self.edges_per_page
+        )
+
+    def vertex_pages_array(self, vertices: np.ndarray, array: int = 0) -> np.ndarray:
+        """Vectorised :meth:`vertex_page` (unique, sorted)."""
+        pages = array * self.vertex_array_pages + vertices // self.vertices_per_page
+        return np.unique(pages)
+
+    def edge_pages_for_ranges(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Unique edge pages covering the CSR ranges [start, end) of a
+        frontier's adjacency lists (vectorised)."""
+        base = self.num_property_arrays * self.vertex_array_pages
+        first = starts // self.edges_per_page
+        last = np.maximum(first, (np.maximum(ends, starts + 1) - 1) // self.edges_per_page)
+        spans = [np.arange(f, l + 1) for f, l in zip(first, last)]
+        if not spans:
+            return np.empty(0, dtype=np.int64)
+        return base + np.unique(np.concatenate(spans))

@@ -1,0 +1,130 @@
+"""Registry of the paper's nine applications (Table 2), keyed by name.
+
+:func:`make_workload` sizes a workload from a :class:`~repro.core.config.GMTConfig`
+and an over-subscription factor, matching the paper's setup where the
+working set is ``oversubscription x (Tier-1 + Tier-2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import GMTConfig, PAPER_OVERSUBSCRIPTION
+from repro.errors import ConfigError
+from repro.workloads.backprop import BackpropWorkload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.lavamd import LavaMDWorkload
+from repro.workloads.multivectoradd import MultiVectorAddWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.pathfinder import PathfinderWorkload
+from repro.workloads.srad import SradWorkload
+from repro.workloads.sssp import SSSPWorkload
+from repro.workloads.synthetic import KeyValueWorkload, StreamingWorkload
+from repro.workloads.trace import JitteredWorkload, Workload
+
+#: Cap on the default in-flight-warp reordering window (see
+#: :class:`~repro.workloads.trace.JitteredWorkload`); roughly the number
+#: of warps a saturated SM complex keeps resident.
+DEFAULT_JITTER_WARPS = 1536
+
+
+def default_jitter_window(footprint_pages: int) -> int:
+    """Default reordering window for a given footprint.
+
+    Scales with the dataset (an eighth of the footprint in warps) up to
+    the hardware-ish cap, so scaled-down experiments keep the same
+    *relative* reordering rather than being fully randomised.
+    """
+    return max(8, min(DEFAULT_JITTER_WARPS, footprint_pages // 8))
+
+_REGISTRY: dict[str, type[Workload]] = {
+    "lavamd": LavaMDWorkload,
+    "pathfinder": PathfinderWorkload,
+    "bfs": BFSWorkload,
+    "multivectoradd": MultiVectorAddWorkload,
+    "srad": SradWorkload,
+    "backprop": BackpropWorkload,
+    "pagerank": PageRankWorkload,
+    "sssp": SSSPWorkload,
+    "hotspot": HotspotWorkload,
+}
+
+#: Table 2 order (the paper's nine applications only).
+WORKLOAD_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+#: Additional workloads beyond the paper's suite (controls / user demos);
+#: accepted by :func:`make_workload`, excluded from the paper experiments.
+_EXTRA_REGISTRY: dict[str, type[Workload]] = {
+    "streaming": StreamingWorkload,
+    "keyvalue": KeyValueWorkload,
+}
+EXTRA_WORKLOAD_NAMES: tuple[str, ...] = tuple(_EXTRA_REGISTRY)
+
+_REGISTRY.update(_EXTRA_REGISTRY)
+
+#: Applications whose over-subscription the paper varies by resizing the
+#: *tiers* rather than the dataset (section 3.5: "reducing the
+#: Tier-1/Tier-2 capacity by half for graph applications").
+GRAPH_WORKLOADS: frozenset[str] = frozenset({"bfs", "pagerank", "sssp"})
+
+
+def normalize_name(name: str) -> str:
+    """Canonical registry key for a Table 2 application name."""
+    key = name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key not in _REGISTRY:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+        )
+    return key
+
+
+def workload_class(name: str) -> type[Workload]:
+    """The workload class registered under ``name``."""
+    return _REGISTRY[normalize_name(name)]
+
+
+def make_workload(
+    name: str,
+    config: GMTConfig | int,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+    jitter_warps: int | None = None,
+    **kwargs,
+) -> Workload:
+    """Build a Table 2 workload sized for ``config``.
+
+    Args:
+        name: Table 2 application name (case/punctuation-insensitive).
+        config: a :class:`GMTConfig` (footprint = oversubscription x
+            (Tier-1 + Tier-2) frames, the paper's definition) or a raw
+            footprint in pages.
+        oversubscription: the paper's over-subscription factor (default 2).
+        seed: trace RNG seed.
+        jitter_warps: in-flight-warp reordering window; ``None`` picks
+            :func:`default_jitter_window`, 0 disables (see
+            :class:`~repro.workloads.trace.JitteredWorkload`).
+        **kwargs: forwarded to the workload class (iterations, epochs, ...).
+    """
+    cls = workload_class(name)
+    if isinstance(config, GMTConfig):
+        footprint = config.working_set_frames(oversubscription)
+    else:
+        footprint = int(config)
+    workload = cls(footprint_pages=footprint, seed=seed, **kwargs)
+    if jitter_warps is None:
+        jitter_warps = default_jitter_window(footprint)
+    if jitter_warps:
+        return JitteredWorkload(workload, window=jitter_warps)
+    return workload
+
+
+def workload_table() -> list[dict[str, str]]:
+    """Name/description rows in Table 2 order (for reports and docs)."""
+    return [
+        {"name": _REGISTRY[key].name, "description": _REGISTRY[key].description}
+        for key in WORKLOAD_NAMES
+    ]
+
+
+_FACTORY_TYPE = Callable[..., Workload]

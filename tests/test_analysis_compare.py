@@ -1,0 +1,79 @@
+"""Tests for run-result comparison utilities."""
+
+import pytest
+
+from repro.analysis.compare import comparison_rows, comparison_table, io_breakdown
+from repro.baselines.bam import BamRuntime
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.errors import SimulationError
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = GMTConfig(
+        tier1_frames=16, tier2_frames=64, sample_target=200, sample_batch=50
+    )
+    workload = make_workload("srad", 160, jitter_warps=16)
+    return {
+        "BaM": BamRuntime(cfg).run(workload),
+        "GMT-Reuse": GMTRuntime(cfg).run(workload),
+    }
+
+
+class TestComparisonRows:
+    def test_baseline_defaults_to_first(self, results):
+        rows = comparison_rows(results)
+        assert rows[0][0] == "BaM"
+        assert rows[0][1] == 1.0
+
+    def test_explicit_baseline(self, results):
+        rows = comparison_rows(results, baseline="GMT-Reuse")
+        by_label = {r[0]: r for r in rows}
+        assert by_label["GMT-Reuse"][1] == 1.0
+        assert by_label["BaM"][1] <= 1.0
+
+    def test_unknown_baseline(self, results):
+        with pytest.raises(SimulationError):
+            comparison_rows(results, baseline="HMM")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            comparison_rows({})
+
+    def test_mismatched_traces_rejected(self, results):
+        cfg = GMTConfig(
+            tier1_frames=16, tier2_frames=64, sample_target=200, sample_batch=50
+        )
+        other = BamRuntime(cfg).run(make_workload("lavamd", 160, jitter_warps=0))
+        mixed = dict(results)
+        mixed["other"] = other
+        with pytest.raises(SimulationError):
+            comparison_rows(mixed)
+
+
+class TestComparisonTable:
+    def test_renders(self, results):
+        text = comparison_table(results, title="cmp")
+        assert text.startswith("cmp")
+        assert "BaM" in text
+        assert "bottleneck" in text
+
+
+class TestIoBreakdown:
+    def test_ledger_keys(self, results):
+        ledger = io_breakdown(results["GMT-Reuse"])
+        assert set(ledger) == {
+            "ssd_reads",
+            "ssd_writes",
+            "tier2_fetches",
+            "tier2_placements",
+            "clean_discards",
+        }
+        assert all(v >= 0 for v in ledger.values())
+
+    def test_bam_has_no_tier2_traffic(self, results):
+        ledger = io_breakdown(results["BaM"])
+        assert ledger["tier2_fetches"] == 0
+        assert ledger["tier2_placements"] == 0

@@ -1,0 +1,109 @@
+"""Unit tests for metrics helpers and table rendering."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    io_reduction_percent,
+    percent_change,
+    speedup,
+)
+from repro.analysis.report import render_histogram, render_table
+
+
+class TestMetrics:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_arithmetic_mean_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_below_arithmetic(self):
+        values = [1.0, 2.0, 9.0]
+        assert geometric_mean(values) < arithmetic_mean(values)
+
+    def test_percent_change(self):
+        assert percent_change(0.5, 1.0) == -50.0
+        assert percent_change(3.0, 2.0) == 50.0
+
+    def test_percent_change_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+
+    def test_io_reduction(self):
+        assert io_reduction_percent(27, 100) == pytest.approx(73.0)
+        assert io_reduction_percent(0, 0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        text = render_table(
+            ["app", "speedup"],
+            [["LavaMD", 1.234], ["Srad", 2.5]],
+            title="Figure X",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert "app" in lines[1] and "speedup" in lines[1]
+        assert set(lines[2].replace(" ", "")) == {"-"}
+        assert "LavaMD" in lines[3]
+        assert "1.234" in lines[3]
+
+    def test_column_alignment(self):
+        text = render_table(["a", "b"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456], [12.3456], [12345.6], [0]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "12,346" in text
+
+    def test_no_title(self):
+        text = render_table(["a"], [["x"]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestRenderHistogram:
+    def test_basic_shape(self):
+        text = render_histogram(["a", "b"], [1.0, 2.0], title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_zero_values(self):
+        text = render_histogram(["a"], [0.0])
+        assert "#" not in text
+
+    def test_alignment(self):
+        text = render_histogram(["x", "longer"], [1, 1])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1.0], width=0)

@@ -1,0 +1,60 @@
+"""Unit tests for the Dragon baseline."""
+
+import pytest
+
+from repro.baselines.bam import BamRuntime
+from repro.baselines.dragon import DragonRuntime
+from repro.baselines.hmm import HmmRuntime
+from repro.core.config import GMTConfig
+from tests.conftest import random_trace, sweep_trace
+
+
+@pytest.fixture
+def config():
+    return GMTConfig(
+        tier1_frames=16, tier2_frames=64, sample_target=200, sample_batch=50
+    )
+
+
+class TestDragonRuntime:
+    def test_constants_applied(self, config):
+        dragon = DragonRuntime(config)
+        assert dragon.name == "Dragon"
+        assert dragon.cost.fault_concurrency == DragonRuntime.FAULT_CONCURRENCY
+        assert dragon._extra_fault_ns == DragonRuntime.FAULT_OVERHEAD_NS
+        assert dragon.ssd.read_bandwidth == DragonRuntime.MMAP_SSD_BANDWIDTH
+
+    def test_uses_three_tiers(self, config):
+        dragon = DragonRuntime(config)
+        for warp in random_trace(500, footprint=100, seed=3):
+            dragon.access_warp(warp)
+        dragon.check_invariants()
+        assert dragon.stats.t2_placements > 0
+
+    def test_slower_than_hmm(self, config):
+        """Dragon's mmap path is strictly heavier than HMM's page cache."""
+        trace = sweep_trace(120, repeats=4, write=True)
+        dragon = DragonRuntime(config).run(trace)
+        hmm = HmmRuntime(config).run(trace)
+        assert dragon.elapsed_ns >= hmm.elapsed_ns
+
+    def test_much_slower_than_bam(self, config):
+        """BaM [40] was shown to beat Dragon decisively."""
+        trace = random_trace(1200, footprint=250, seed=9)
+        dragon = DragonRuntime(config).run(trace)
+        bam = BamRuntime(config).run(trace)
+        assert dragon.elapsed_ns > 1.5 * bam.elapsed_ns
+
+    def test_platform_for_helper(self, config):
+        cfg = DragonRuntime.platform_for(config)
+        assert cfg.platform.host_fault_concurrency == DragonRuntime.FAULT_CONCURRENCY
+        assert (
+            cfg.platform.host_pagecache_ssd_bandwidth
+            == DragonRuntime.MMAP_SSD_BANDWIDTH
+        )
+
+    def test_available_via_harness(self, config):
+        from repro.experiments.harness import build_runtime
+
+        runtime = build_runtime("dragon", config)
+        assert isinstance(runtime, DragonRuntime)

@@ -1,0 +1,93 @@
+"""Tests for the command-line tools and result exports."""
+
+import json
+
+import pytest
+
+from repro.cli import main_characterize, main_sim
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.runner import main as main_experiments
+
+
+class TestGmtSim:
+    def test_default_runtimes(self, capsys):
+        rc = main_sim(["lavamd", "--scale", "8192"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BaM" in out
+        assert "GMT-Reuse" in out
+        assert "speedup" in out
+
+    def test_runtime_selection(self, capsys):
+        rc = main_sim(["pathfinder", "--scale", "8192", "--runtimes", "bam", "hmm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HMM" in out
+        assert "GMT-Reuse" not in out
+
+    def test_oversubscription_flag(self, capsys):
+        rc = main_sim(["lavamd", "--scale", "8192", "--oversubscription", "4"])
+        assert rc == 0
+        assert "footprint" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main_sim(["doom"])
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(SystemExit):
+            main_sim(["lavamd", "--runtimes", "belady"])
+
+
+class TestGmtCharacterize:
+    def test_report_fields(self, capsys):
+        rc = main_characterize(["srad", "--scale", "8192"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "page reuse" in out
+        assert "Eq. 1 class mix" in out
+        assert "Miss-ratio curve" in out
+
+    def test_mrc_points_flag(self, capsys):
+        rc = main_characterize(["hotspot", "--scale", "8192", "--mrc-points", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LRU miss ratio" in out
+
+
+class TestGmtExperiments:
+    def test_single_experiment(self, capsys):
+        rc = main_experiments(["fig6", "--scale", "8192"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 6(a)" in out
+        assert "completed in" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main_experiments(["fig99"])
+
+
+class TestExperimentResultExport:
+    @pytest.fixture
+    def result(self):
+        return ExperimentResult(
+            name="x",
+            title="Title",
+            headers=["app", "value"],
+            rows=[["a", 1.5], ["b", 2.0]],
+            notes=["n1"],
+        )
+
+    def test_to_csv(self, result):
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "app,value"
+        assert lines[1] == "a,1.5"
+
+    def test_to_json_roundtrip(self, result):
+        data = json.loads(result.to_json())
+        assert data["name"] == "x"
+        assert data["headers"] == ["app", "value"]
+        assert data["rows"][1] == ["b", 2.0]
+        assert data["notes"] == ["n1"]

@@ -1,0 +1,117 @@
+"""Tests for the set-dueling adaptive policy."""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import DuelingPolicy, _LeaderScore
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.core.stats import RuntimeStats
+from repro.reuse.vtd import VirtualTimestampClock
+
+
+@pytest.fixture
+def config():
+    return GMTConfig(
+        tier1_frames=16,
+        tier2_frames=64,
+        policy="dueling",
+        sample_target=200,
+        sample_batch=50,
+    )
+
+
+def build(config):
+    return DuelingPolicy(
+        config, RuntimeStats(), VirtualTimestampClock(), random.Random(0)
+    )
+
+
+class TestLeaderScore:
+    def test_optimistic_prior(self):
+        assert _LeaderScore().yield_rate == 1.0
+
+    def test_yield(self):
+        score = _LeaderScore()
+        score.placements = 4.0
+        score.returns = 2.0
+        assert score.yield_rate == 0.5
+
+    def test_decay(self):
+        score = _LeaderScore()
+        score.placements = 8.0
+        score.returns = 4.0
+        score.decay(0.5)
+        assert score.placements == 4.0
+        assert score.yield_rate == 0.5  # ratio preserved
+
+
+class TestDuelingPolicy:
+    def test_registered_with_factory(self, config):
+        runtime = GMTRuntime(config)
+        assert isinstance(runtime.policy, DuelingPolicy)
+        assert runtime.name == "GMT-dueling"
+
+    def test_leader_sets_are_disjoint_and_sparse(self, config):
+        policy = build(config)
+        sets = [policy._set_of(p) for p in range(10_000)]
+        a = sets.count("a")
+        b = sets.count("b")
+        assert 0 < a < 10_000 // 8
+        assert 0 < b < 10_000 // 8
+        assert sets.count(None) > 10_000 * 0.8
+
+    def test_cold_start_follows_reuse(self, config):
+        policy = build(config)
+        assert policy.following == "reuse"
+
+    def test_clear_advantage_switches_followers(self, config):
+        policy = build(config)
+        policy.score_a.placements = 100.0
+        policy.score_a.returns = 90.0
+        policy.score_b.placements = 100.0
+        policy.score_b.returns = 10.0
+        assert policy.following == "tier-order"
+
+    def test_small_advantage_does_not_switch(self, config):
+        policy = build(config)
+        policy.score_a.placements = 100.0
+        policy.score_a.returns = 52.0
+        policy.score_b.placements = 100.0
+        policy.score_b.returns = 50.0
+        assert policy.following == "reuse"
+
+    def test_runs_end_to_end_with_invariants(self, config):
+        from tests.conftest import random_trace
+
+        runtime = GMTRuntime(config)
+        for warp in random_trace(1500, footprint=200, seed=8):
+            runtime.access_warp(warp)
+        runtime.check_invariants()
+        assert runtime.stats.t1_evictions > 0
+
+    def test_never_much_worse_than_both_policies(self, config):
+        """The adaptive guarantee: close to the better constituent."""
+        from repro.workloads import make_workload
+
+        workload = make_workload("srad", 160, jitter_warps=32)
+        elapsed = {}
+        for pol in ("tier-order", "reuse", "dueling"):
+            elapsed[pol] = (
+                GMTRuntime(config.with_policy(pol)).run(workload).elapsed_ns
+            )
+        best = min(elapsed["tier-order"], elapsed["reuse"])
+        assert elapsed["dueling"] <= best * 1.3
+
+    def test_epoch_decay_applied(self, config):
+        policy = build(config)
+        policy.score_a.placements = 8.0
+        policy._evictions_this_epoch = policy.EPOCH_EVICTIONS - 1
+        from repro.core.placement import PlacementDecision
+        from repro.core.policies import PlacementPlan
+        from repro.mem.page import PageState
+
+        plan = PlacementPlan(decision=PlacementDecision.BYPASS_TIER3)
+        policy.on_evicted(PageState(page=2), plan)
+        assert policy.score_a.placements == 4.0

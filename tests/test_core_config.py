@@ -1,0 +1,94 @@
+"""Unit tests for GMTConfig."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_SCALE,
+    GMTConfig,
+    PAPER_OVERSUBSCRIPTION,
+    PAPER_TIER2_RATIO,
+)
+from repro.errors import ConfigError
+from repro.units import PAGE_SIZE
+
+
+class TestGMTConfig:
+    def test_minimal(self):
+        cfg = GMTConfig(tier1_frames=10, tier2_frames=40)
+        assert cfg.total_memory_frames == 50
+        assert cfg.page_size == PAGE_SIZE
+        assert cfg.policy == "reuse"
+
+    def test_working_set_frames(self):
+        cfg = GMTConfig(tier1_frames=10, tier2_frames=40)
+        assert cfg.working_set_frames() == 100  # oversub 2
+        assert cfg.working_set_frames(4) == 200
+
+    def test_working_set_invalid_oversub(self):
+        with pytest.raises(ConfigError):
+            GMTConfig(tier1_frames=1, tier2_frames=0).working_set_frames(0)
+
+    def test_with_policy(self):
+        cfg = GMTConfig(tier1_frames=10, tier2_frames=40)
+        other = cfg.with_policy("random")
+        assert other.policy == "random"
+        assert other.tier1_frames == cfg.tier1_frames
+        assert cfg.policy == "reuse"  # original untouched
+
+    def test_zero_tier2_allowed(self):
+        GMTConfig(tier1_frames=10, tier2_frames=0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tier1_frames": 0, "tier2_frames": 4},
+            {"tier1_frames": 4, "tier2_frames": -1},
+            {"tier1_frames": 4, "tier2_frames": 4, "policy": "belady"},
+            {"tier1_frames": 4, "tier2_frames": 4, "page_size": 0},
+            {"tier1_frames": 4, "tier2_frames": 4, "transfer_batch_pages": 0},
+            {"tier1_frames": 4, "tier2_frames": 4, "tier3_bias_threshold": 0.0},
+            {"tier1_frames": 4, "tier2_frames": 4, "tier3_bias_threshold": 1.5},
+            {"tier1_frames": 4, "tier2_frames": 4, "tier3_bias_window": 0},
+            {"tier1_frames": 4, "tier2_frames": 4, "max_clock_retries": -1},
+            {"tier1_frames": 4, "tier2_frames": 4, "sample_target": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            GMTConfig(**kwargs)
+
+    def test_hashable_for_caching(self):
+        a = GMTConfig(tier1_frames=4, tier2_frames=16)
+        b = GMTConfig(tier1_frames=4, tier2_frames=16)
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestPaperDefault:
+    def test_default_scale_geometry(self):
+        cfg = GMTConfig.paper_default()
+        # 16 GiB / (64 KiB * 256) = 1024 frames; Tier-2 = 4x.
+        assert cfg.tier1_frames == 1024
+        assert cfg.tier2_frames == 4096
+
+    def test_full_scale_matches_paper_bytes(self):
+        cfg = GMTConfig.paper_default(scale=1)
+        assert cfg.tier1_frames == 262_144  # 16 GiB of 64 KiB pages
+        assert cfg.tier2_frames == 262_144 * PAPER_TIER2_RATIO
+
+    def test_custom_ratio(self):
+        cfg = GMTConfig.paper_default(tier2_ratio=8)
+        assert cfg.tier2_frames == 8 * cfg.tier1_frames
+
+    def test_overrides_forwarded(self):
+        cfg = GMTConfig.paper_default(policy="random", seed=9)
+        assert cfg.policy == "random"
+        assert cfg.seed == 9
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            GMTConfig.paper_default(scale=0)
+
+    def test_paper_constants(self):
+        assert DEFAULT_SCALE == 256
+        assert PAPER_OVERSUBSCRIPTION == 2.0

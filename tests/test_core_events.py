@@ -1,0 +1,148 @@
+"""Unit tests for runtime event tracing (paper Figure 2's lifetime)."""
+
+import pytest
+
+from repro.core.config import GMTConfig
+from repro.core.events import EventKind, RuntimeEventLog, format_events
+from repro.core.runtime import GMTRuntime
+
+
+def make_runtime(**kwargs):
+    cfg = GMTConfig(
+        tier1_frames=kwargs.pop("tier1", 2),
+        tier2_frames=kwargs.pop("tier2", 4),
+        policy=kwargs.pop("policy", "tier-order"),
+        sample_target=50,
+        sample_batch=10,
+        **kwargs,
+    )
+    return GMTRuntime(cfg)
+
+
+class TestRuntimeEventLog:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeEventLog(capacity=0)
+
+    def test_bounded_capacity(self):
+        log = RuntimeEventLog(capacity=2)
+        for i in range(5):
+            log.emit(EventKind.MISS, i, i)
+        assert len(log) == 2
+        assert [e.page for e in log] == [3, 4]
+
+    def test_filters(self):
+        log = RuntimeEventLog()
+        log.emit(EventKind.MISS, 1, 1)
+        log.emit(EventKind.T1_HIT, 1, 2)
+        log.emit(EventKind.MISS, 2, 3)
+        assert len(log.events(kind=EventKind.MISS)) == 2
+        assert len(log.events(page=1)) == 2
+        assert len(log.events(kind=EventKind.MISS, page=2)) == 1
+
+    def test_clear(self):
+        log = RuntimeEventLog()
+        log.emit(EventKind.MISS, 1, 1)
+        log.clear()
+        assert len(log) == 0
+
+    def test_format(self):
+        log = RuntimeEventLog()
+        log.emit(EventKind.MISS, 7, 3)
+        assert "miss" in format_events(log)
+        assert "page=7" in format_events(log)
+
+
+class TestRuntimeInstrumentation:
+    def test_detached_by_default(self):
+        rt = make_runtime()
+        rt.access(1)
+        assert rt._events is None  # no recording, no cost
+
+    def test_cold_miss_lifetime(self):
+        rt = make_runtime()
+        log = rt.attach_event_log()
+        rt.access(1)
+        assert log.kinds_for_page(1) == [
+            EventKind.MISS,
+            EventKind.T2_LOOKUP,
+            EventKind.SSD_READ,
+            EventKind.T1_FILL,
+        ]
+
+    def test_hit_lifetime(self):
+        rt = make_runtime()
+        log = rt.attach_event_log()
+        rt.access(1)
+        rt.access(1)
+        assert log.kinds_for_page(1)[-1] is EventKind.T1_HIT
+
+    def test_figure2_full_lifetime(self):
+        """Cold fill -> eviction to Tier-2 -> Tier-2 hit -> back in Tier-1."""
+        rt = make_runtime(tier1=2, tier2=4)
+        log = rt.attach_event_log()
+        rt.access(1)
+        rt.access(2)
+        rt.access(3)  # evicts 1 into Tier-2 (tier-order)
+        rt.access(1)  # Tier-2 hit
+        kinds = log.kinds_for_page(1)
+        assert kinds == [
+            EventKind.MISS,
+            EventKind.T2_LOOKUP,
+            EventKind.SSD_READ,
+            EventKind.T1_FILL,
+            EventKind.EVICT_T1,
+            EventKind.PLACE_T2,
+            EventKind.MISS,
+            EventKind.T2_LOOKUP,
+            EventKind.T2_HIT,
+            EventKind.T1_FILL,
+        ]
+
+    def test_dirty_bypass_emits_writeback(self):
+        rt = make_runtime(tier1=1, tier2=0)
+        log = rt.attach_event_log()
+        rt.access(1, write=True)
+        rt.access(2)
+        kinds = log.kinds_for_page(1)
+        assert EventKind.BYPASS_T3 in kinds
+        assert EventKind.WRITEBACK in kinds
+        assert EventKind.DISCARD not in kinds
+
+    def test_clean_bypass_emits_discard(self):
+        rt = make_runtime(tier1=1, tier2=0)
+        log = rt.attach_event_log()
+        rt.access(1)
+        rt.access(2)
+        assert EventKind.DISCARD in log.kinds_for_page(1)
+
+    def test_t2_eviction_traced(self):
+        rt = make_runtime(tier1=1, tier2=1)
+        log = rt.attach_event_log()
+        for p in range(1, 5):
+            rt.access(p)
+        assert log.events(kind=EventKind.T2_EVICT)
+
+    def test_prefetch_traced(self):
+        rt = make_runtime(tier1=4, tier2=4, prefetch_degree=1)
+        log = rt.attach_event_log()
+        rt.access(10)
+        assert log.events(kind=EventKind.PREFETCH, page=11)
+
+    def test_summary_counts(self):
+        rt = make_runtime()
+        log = rt.attach_event_log()
+        rt.access(1)
+        rt.access(1)
+        summary = log.summary()
+        assert summary["miss"] == 1
+        assert summary["t1-hit"] == 1
+
+    def test_detach_stops_recording(self):
+        rt = make_runtime()
+        log = rt.attach_event_log()
+        rt.access(1)
+        size = len(log)
+        rt.detach_event_log()
+        rt.access(2)
+        assert len(log) == size

@@ -1,0 +1,103 @@
+"""Unit tests for the Belady-style oracle policy."""
+
+import pytest
+
+from repro.core.config import GMTConfig
+from repro.core.oracle import (
+    FutureReuseIndex,
+    fit_global_vtd_model,
+    run_with_oracle,
+)
+from repro.errors import TraceError
+from repro.sim.gpu import WarpAccess
+from repro.workloads.trace import Workload
+
+
+class _PagesWorkload(Workload):
+    name = "pages"
+
+    def __init__(self, pages):
+        super().__init__(max(pages) + 1, 0)
+        self._pages = pages
+
+    def generate(self):
+        for p in self._pages:
+            yield WarpAccess(pages=(p,))
+
+
+@pytest.fixture
+def config():
+    return GMTConfig(
+        tier1_frames=4, tier2_frames=16, sample_target=50, sample_batch=10
+    )
+
+
+class TestFutureReuseIndex:
+    def test_next_access(self):
+        idx = FutureReuseIndex(_PagesWorkload([1, 2, 1, 3, 1]))
+        assert idx.next_access_after(1, 0) == 1
+        assert idx.next_access_after(1, 1) == 3
+        assert idx.next_access_after(1, 3) == 5
+        assert idx.next_access_after(1, 5) is None
+
+    def test_unknown_page(self):
+        idx = FutureReuseIndex(_PagesWorkload([1, 2]))
+        assert idx.next_access_after(99, 0) is None
+
+    def test_trace_length(self):
+        idx = FutureReuseIndex(_PagesWorkload([1, 2, 1]))
+        assert idx.trace_length == 3
+
+    def test_empty_trace_rejected(self):
+        class Empty(Workload):
+            name = "empty"
+
+            def generate(self):
+                return iter(())
+
+        with pytest.raises(TraceError):
+            FutureReuseIndex(Empty(footprint_pages=1))
+
+
+class TestGlobalVtdModel:
+    def test_sweep_gives_identity_like_line(self):
+        model = fit_global_vtd_model(_PagesWorkload(list(range(20)) * 3))
+        assert model is not None
+        assert model.predict(20) == pytest.approx(19, abs=1.0)
+
+    def test_no_reuse_gives_none(self):
+        assert fit_global_vtd_model(_PagesWorkload(list(range(10)))) is None
+
+
+class TestRunWithOracle:
+    def test_runs_and_labels(self, config):
+        result = run_with_oracle(config, _PagesWorkload(list(range(30)) * 3))
+        assert result.runtime_name == "GMT-oracle"
+        assert result.stats.coalesced_accesses == 90
+
+    def test_oracle_counts_every_eviction_as_prediction(self, config):
+        result = run_with_oracle(config, _PagesWorkload(list(range(30)) * 3))
+        assert result.stats.predictions_made == result.stats.t1_evictions
+        assert result.stats.fallback_placements == 0
+
+    def test_oracle_not_worse_than_reuse_on_medium_pattern(self, config):
+        """On a pattern whose reuse fits Tier-1+2, perfect knowledge must
+        at least match the online predictor."""
+        from repro.core.runtime import GMTRuntime
+
+        # Footprint 12 < tier1+tier2 (20): everything is medium/short.
+        workload = _PagesWorkload(list(range(12)) * 8)
+        oracle = run_with_oracle(config, workload)
+        online = GMTRuntime(config).run(workload)
+        assert oracle.elapsed_ns <= online.elapsed_ns * 1.05
+
+    def test_oracle_bypasses_single_use_pages(self, config):
+        """Pages never reused are classified LONG and skip Tier-2."""
+        workload = _PagesWorkload(list(range(100)))
+        result = run_with_oracle(config, workload)
+        # With no reuse at all, the model is None -> everything LONG; the
+        # heuristic may still force some pages into Tier-2 (free slots
+        # only), but no plain medium placements occur, so every successful
+        # placement stems from a forced attempt.
+        assert result.stats.forced_t2_placements > 0
+        assert result.stats.t2_placements <= result.stats.forced_t2_placements

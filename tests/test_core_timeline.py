@@ -1,0 +1,89 @@
+"""Tests for the windowed statistics timeline."""
+
+import pytest
+
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.core.timeline import StatsTimeline
+from repro.errors import ConfigError
+from repro.workloads import make_workload
+
+
+def make_runtime(policy="reuse"):
+    cfg = GMTConfig(
+        tier1_frames=16,
+        tier2_frames=64,
+        policy=policy,
+        sample_target=300,
+        sample_batch=50,
+    )
+    return GMTRuntime(cfg)
+
+
+class TestStatsTimeline:
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            StatsTimeline(make_runtime(), window=0)
+
+    def test_no_snapshot_before_window_fills(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=100)
+        rt.access(1)
+        assert tl.maybe_snapshot() is None
+        assert tl.windows() == []
+
+    def test_snapshot_after_window(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=10)
+        for p in range(10):
+            rt.access(p)
+        window = tl.maybe_snapshot()
+        assert window is not None
+        assert window.accesses == 10
+        assert window.index == 0
+
+    def test_windows_report_deltas(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=5)
+        for p in range(5):
+            rt.access(p)  # all cold misses
+        w0 = tl.maybe_snapshot()
+        for p in range(5):
+            rt.access(p)  # all Tier-1 hits (fit in 16 frames)
+        w1 = tl.maybe_snapshot()
+        assert w0.t1_misses == 5 and w0.t1_hits == 0
+        assert w1.t1_hits == 5 and w1.t1_misses == 0
+        assert w1.t1_hit_rate == 1.0
+
+    def test_run_convenience_covers_whole_trace(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=50)
+        workload = make_workload("srad", 160, jitter_warps=0)
+        tl.run(workload)
+        assert sum(w.accesses for w in tl.windows()) == rt.stats.coalesced_accesses
+
+    def test_series(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=50)
+        tl.run(make_workload("srad", 160, jitter_warps=0))
+        series = tl.series("t2_hit_rate")
+        assert len(series) == len(tl.windows())
+        assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_unknown_metric(self):
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=50)
+        tl.run(make_workload("srad", 160, jitter_warps=0))
+        with pytest.raises(ConfigError):
+            tl.series("tea_temperature")
+
+    def test_warmup_visible_on_iterative_workload(self):
+        """The point of the tool: prediction coverage must grow from the
+        cold window to the last window on an iterative app."""
+        rt = make_runtime()
+        tl = StatsTimeline(rt, window=500)
+        tl.run(make_workload("backprop", 160, jitter_warps=0, epochs=10))
+        coverage = tl.series("prediction_coverage")
+        assert len(coverage) >= 3
+        assert coverage[0] < coverage[-1]
+        assert coverage[-1] > 0.3

@@ -1,0 +1,68 @@
+"""Error-hierarchy contract and package hygiene checks."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    GMTError,
+    PageStateError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [CapacityError, ConfigError, PageStateError, SimulationError, TraceError],
+    )
+    def test_all_derive_from_gmt_error(self, exc):
+        assert issubclass(exc, GMTError)
+        with pytest.raises(GMTError):
+            raise exc("boom")
+
+    def test_one_except_clause_catches_everything(self):
+        """The embedding contract: ``except GMTError`` is sufficient."""
+        from repro.core.config import GMTConfig
+
+        caught = None
+        try:
+            GMTConfig(tier1_frames=0, tier2_frames=0)
+        except GMTError as err:
+            caught = err
+        assert isinstance(caught, ConfigError)
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        yield info.name
+
+
+class TestPackageHygiene:
+    def test_every_module_imports(self):
+        for name in _walk_modules():
+            importlib.import_module(name)
+
+    def test_every_module_has_a_docstring(self):
+        missing = []
+        for name in _walk_modules():
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_api_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

@@ -1,0 +1,61 @@
+"""Small-scale tests of the extension studies."""
+
+import pytest
+
+from repro.experiments import extensions
+
+SCALE = 4096
+
+
+class TestOracleGap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extensions.run_oracle_gap(scale=SCALE)
+
+    def test_structure(self, result):
+        assert result.name == "ext-oracle"
+        assert len(result.rows) == len(extensions.ORACLE_APPS) + 1
+
+    def test_gaps_reasonable(self, result):
+        for app, gap in result.extras["gaps"].items():
+            assert 0.5 < gap < 2.5, app
+
+
+class TestSsdScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extensions.run_ssd_scaling(scale=SCALE)
+
+    def test_monotone_decline(self, result):
+        means = result.extras["means"]
+        counts = sorted(means)
+        for a, b in zip(counts, counts[1:]):
+            assert means[b] <= means[a] * 1.05
+
+    def test_single_ssd_benefits(self, result):
+        assert result.extras["means"][1] > 1.1
+
+
+class TestPrefetchStudy:
+    def test_prefetch_never_helps_bandwidth_bound(self):
+        result = extensions.run_prefetch_study(scale=SCALE)
+        for app, ratio in result.extras["time_ratios"].items():
+            assert ratio >= 0.9, app
+
+
+class TestModelValidation:
+    def test_models_agree_on_bandwidth_bound_platform(self):
+        result = extensions.run_model_validation(scale=SCALE)
+        for app, ratio in result.extras["ratios"].items():
+            assert 0.8 <= ratio <= 1.25, app
+
+
+class TestRunAll:
+    def test_run_returns_all_studies(self):
+        results = extensions.run(scale=8192)
+        assert [r.name for r in results] == [
+            "ext-oracle",
+            "ext-ssd-scaling",
+            "ext-prefetch",
+            "ext-model-validation",
+        ]

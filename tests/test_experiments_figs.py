@@ -1,0 +1,193 @@
+"""End-to-end tests of every experiment module at a tiny scale.
+
+These check that each table/figure regenerates with the right structure
+and the headline *shape* properties the paper reports.  Scale 4096 keeps
+Tier-1 at 64 frames so the full matrix runs in seconds.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table2
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.workloads.registry import WORKLOAD_NAMES
+
+SCALE = 4096
+
+
+@pytest.fixture(scope="module")
+def fig8_results():
+    return fig8.run(scale=SCALE)
+
+
+class TestFig8:
+    def test_two_panels(self, fig8_results):
+        assert [r.name for r in fig8_results] == ["fig8a", "fig8b"]
+
+    def test_all_apps_plus_average(self, fig8_results):
+        rows = fig8_results[0].rows
+        assert len(rows) == len(WORKLOAD_NAMES) + 1
+        assert rows[-1][0] == "Average"
+
+    def test_reuse_beats_bam_on_average(self, fig8_results):
+        means = fig8_results[0].extras["means"]
+        assert means["reuse"] > 1.1
+
+    def test_reuse_is_best_policy(self, fig8_results):
+        means = fig8_results[0].extras["means"]
+        assert means["reuse"] >= means["tier-order"]
+        assert means["reuse"] >= means["random"]
+
+    def test_io_reduced_vs_bam(self, fig8_results):
+        ratios = fig8_results[1].extras["io_ratios"]
+        from repro.analysis.metrics import arithmetic_mean
+
+        assert arithmetic_mean(ratios["reuse"]) < 1.0
+
+
+class TestFig9:
+    def test_rows_and_accuracy_range(self):
+        (result,) = fig9.run(scale=SCALE)
+        assert len(result.rows) == len(WORKLOAD_NAMES)
+        for acc in result.extras["accuracies"].values():
+            assert 0.0 <= acc <= 1.0
+
+    def test_high_reuse_apps_have_history(self):
+        (result,) = fig9.run(scale=SCALE)
+        accs = result.extras["accuracies"]
+        assert accs["hotspot"] > 0.5
+
+
+class TestFig10:
+    def test_panels(self):
+        a, b = fig10.run(scale=SCALE)
+        assert a.name == "fig10a" and b.name == "fig10b"
+        assert len(a.rows) == len(WORKLOAD_NAMES)
+
+    def test_wasteful_fractions_are_percentages(self):
+        a, _ = fig10.run(scale=SCALE)
+        for row in a.rows:
+            for value in row[1:]:
+                assert 0.0 <= value <= 100.0
+
+
+class TestFig11:
+    def test_speedups_shrink_vs_fig8(self, fig8_results):
+        (result,) = fig11.run(scale=SCALE)
+        fig8_mean = fig8_results[0].extras["means"]["reuse"]
+        fig11_mean = result.extras["means"]["reuse"]
+        assert fig11_mean < fig8_mean
+        assert fig11_mean > 0.9  # still roughly at-or-above BaM
+
+
+class TestFig12:
+    def test_speedup_grows_with_ratio(self):
+        (result,) = fig12.run(scale=SCALE)
+        series = result.extras["series"]
+        from repro.analysis.metrics import arithmetic_mean
+
+        means = [arithmetic_mean(series[r]) for r in (2, 4, 8)]
+        assert means[0] < means[1] < means[2]
+
+
+class TestFig13:
+    def test_non_graph_apps_only(self):
+        (result,) = fig13.run(scale=SCALE)
+        apps = [row[0] for row in result.rows[:-1]]
+        assert "PageRank" not in apps
+        assert "LavaMD" in apps
+
+    def test_reuse_still_ahead(self):
+        (result,) = fig13.run(scale=SCALE)
+        means = result.extras["means"]
+        assert means["reuse"] > 1.0
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        (res,) = fig14.run(scale=SCALE)
+        return res
+
+    def test_bam_beats_hmm(self, result):
+        assert result.extras["means"]["hmm_over_bam"] < 1.0
+
+    def test_reuse_beats_hmm_strongly(self, result):
+        assert result.extras["means"]["reuse_over_hmm"] > 1.5
+
+    def test_reuse_beats_optimistic_hmm(self, result):
+        assert result.extras["means"]["reuse_over_optimistic_hmm"] > 1.0
+
+
+class TestTable2:
+    def test_rows(self):
+        (result,) = table2.run(scale=SCALE)
+        assert len(result.rows) == 9
+
+    def test_reuse_spectrum(self):
+        (result,) = table2.run(scale=SCALE)
+        measured = result.extras["measured"]
+        assert measured["lavamd"]["reuse_percent"] < 10
+        assert measured["backprop"]["reuse_percent"] > 80
+
+
+class TestFig7:
+    def test_fractions_sum(self):
+        (result,) = fig7.run(scale=SCALE)
+        for row in result.rows:
+            acc = row[2] + row[3] + row[4]
+            assert acc == pytest.approx(100.0, abs=0.5)
+
+
+class TestFig4:
+    def test_linear_correlation(self):
+        a, bc = fig4.run(scale=SCALE)
+        for r in a.extras["correlations"].values():
+            assert r > 0.9
+
+    def test_patterns(self):
+        _, bc = fig4.run(scale=SCALE)
+        fr = bc.extras["series_fractions"]
+        assert fr["multivectoradd"]["constant"] > 0.3
+        assert fr["pagerank"]["alternating"] > 0.3
+
+
+class TestFig6:
+    def test_crossover_near_eight(self):
+        a, b = fig6.run(scale=SCALE)
+        assert 6 <= a.extras["crossover"] <= 10
+
+    def test_hybrid32_close_to_best(self):
+        _, b = fig6.run(scale=SCALE)
+        series = b.extras["series"]
+        best = [
+            max(series[name][i] for name in series)
+            for i in range(len(next(iter(series.values()))))
+        ]
+        for h32, top in zip(series["Hybrid-32T"], best):
+            assert h32 >= 0.55 * top
+
+
+class TestRunner:
+    def test_experiment_list_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "extensions",
+        }
+
+    def test_run_experiment_dispatch(self):
+        results = run_experiment("fig6", scale=SCALE)
+        assert results and results[0].name == "fig6a"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            run_experiment("fig99", scale=SCALE)

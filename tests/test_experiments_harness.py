@@ -1,0 +1,122 @@
+"""Unit tests for the experiment harness (configs, caching, runtimes)."""
+
+import pytest
+
+from repro.baselines.bam import BamRuntime
+from repro.baselines.hmm import HmmRuntime
+from repro.core.runtime import GMTRuntime
+from repro.errors import ConfigError
+from repro.experiments.harness import (
+    ExperimentResult,
+    RUNTIME_KINDS,
+    RUNTIME_LABELS,
+    app_label,
+    build_runtime,
+    default_config,
+    get_workload,
+    run_app,
+    run_app_with_footprint,
+    run_matrix,
+)
+
+
+@pytest.fixture
+def tiny_config():
+    # Scale 8192 -> Tier-1 = 32 frames, Tier-2 = 128, footprint = 320.
+    return default_config(scale=8192)
+
+
+class TestDefaultConfig:
+    def test_scaled_geometry(self, tiny_config):
+        assert tiny_config.tier1_frames == 32
+        assert tiny_config.tier2_frames == 128
+
+    def test_sampling_scales_with_tier1(self, tiny_config):
+        assert tiny_config.sample_target == max(1000, 32 * 20)
+
+    def test_default_scale(self):
+        cfg = default_config()
+        assert cfg.tier1_frames == 1024
+
+
+class TestBuildRuntime:
+    def test_kinds(self, tiny_config):
+        assert isinstance(build_runtime("bam", tiny_config), BamRuntime)
+        assert isinstance(build_runtime("hmm", tiny_config), HmmRuntime)
+        gmt = build_runtime("reuse", tiny_config)
+        assert isinstance(gmt, GMTRuntime)
+        assert gmt.policy.name == "reuse"
+
+    def test_unknown_kind(self, tiny_config):
+        with pytest.raises(ConfigError):
+            build_runtime("belady", tiny_config)
+
+    def test_labels_cover_kinds(self):
+        assert set(RUNTIME_LABELS) == set(RUNTIME_KINDS)
+
+
+class TestCaching:
+    def test_workload_cached(self, tiny_config):
+        a = get_workload("hotspot", tiny_config)
+        b = get_workload("hotspot", tiny_config)
+        assert a is b
+
+    def test_workload_cache_distinguishes_kwargs(self, tiny_config):
+        a = get_workload("hotspot", tiny_config)
+        b = get_workload("hotspot", tiny_config, jitter_warps=0)
+        assert a is not b
+
+    def test_run_cached(self, tiny_config):
+        a = run_app("lavamd", "bam", tiny_config)
+        b = run_app("lavamd", "bam", tiny_config)
+        assert a is b
+
+    def test_run_cache_distinguishes_kind(self, tiny_config):
+        a = run_app("lavamd", "bam", tiny_config)
+        b = run_app("lavamd", "reuse", tiny_config)
+        assert a is not b
+
+
+class TestRunMatrix:
+    def test_shape(self, tiny_config):
+        matrix = run_matrix(tiny_config, apps=("lavamd", "pathfinder"), kinds=("bam", "reuse"))
+        assert set(matrix) == {"lavamd", "pathfinder"}
+        assert set(matrix["lavamd"]) == {"bam", "reuse"}
+        assert matrix["lavamd"]["bam"].elapsed_ns > 0
+
+    def test_same_trace_for_all_kinds(self, tiny_config):
+        matrix = run_matrix(tiny_config, apps=("pathfinder",), kinds=("bam", "reuse"))
+        runs = matrix["pathfinder"]
+        assert (
+            runs["bam"].stats.coalesced_accesses
+            == runs["reuse"].stats.coalesced_accesses
+        )
+
+
+class TestRunAppWithFootprint:
+    def test_explicit_footprint(self, tiny_config):
+        small = run_app_with_footprint("hotspot", "bam", tiny_config, 200)
+        large = run_app_with_footprint("hotspot", "bam", tiny_config, 400)
+        assert (
+            large.stats.coalesced_accesses > small.stats.coalesced_accesses
+        )
+
+
+class TestExperimentResult:
+    def test_to_text(self):
+        res = ExperimentResult(
+            name="figX",
+            title="Figure X",
+            headers=["app", "v"],
+            rows=[["a", 1.0]],
+            notes=["hello"],
+        )
+        text = res.to_text()
+        assert "Figure X" in text
+        assert "note: hello" in text
+
+
+class TestAppLabel:
+    def test_labels(self):
+        assert app_label("lavamd") == "LavaMD"
+        assert app_label("multivectoradd") == "MultiVectorAdd"

@@ -1,0 +1,31 @@
+"""Tests for the one-shot report generator."""
+
+from repro.experiments.report_all import generate_report, main
+
+
+class TestGenerateReport:
+    def test_subset_report(self, tmp_path):
+        out = tmp_path / "report.md"
+        text = generate_report(scale=8192, path=out, experiments=("fig6",))
+        assert out.exists()
+        assert out.read_text() == text
+        assert "# GMT reproduction report" in text
+        assert "Figure 6(a)" in text
+        assert "byte scale: 1/8192" in text
+
+    def test_header_geometry(self):
+        text = generate_report(scale=8192, experiments=())
+        assert "Tier-1: 32 frames" in text
+        assert "Tier-2: 128 frames" in text
+
+    def test_cli_main(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        rc = main(["--scale", "8192", "--experiments", "fig6", "-o", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out
+
+    def test_cli_stdout(self, capsys):
+        rc = main(["--scale", "8192", "--experiments", "fig6"])
+        assert rc == 0
+        assert "Figure 6(a)" in capsys.readouterr().out

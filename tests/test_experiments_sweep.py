@@ -1,0 +1,74 @@
+"""Tests for the generic configuration sweep helper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.harness import default_config
+from repro.experiments.sweep import apply_override, sweep_config
+
+SCALE = 8192
+
+
+class TestApplyOverride:
+    def test_config_field(self):
+        cfg = default_config(SCALE)
+        out = apply_override(cfg, "tier2_frames", 99)
+        assert out.tier2_frames == 99
+        assert cfg.tier2_frames != 99  # frozen original untouched
+
+    def test_platform_field(self):
+        cfg = default_config(SCALE)
+        out = apply_override(cfg, "platform.ssd_read_latency_ns", 99_000.0)
+        assert out.platform.ssd_read_latency_ns == 99_000.0
+
+    def test_unknown_config_field(self):
+        with pytest.raises(ConfigError):
+            apply_override(default_config(SCALE), "tier9_frames", 1)
+
+    def test_unknown_platform_field(self):
+        with pytest.raises(ConfigError):
+            apply_override(default_config(SCALE), "platform.flux", 1)
+
+
+class TestSweepConfig:
+    def test_tier2_sweep_monotone(self):
+        result = sweep_config(
+            "tier2_frames",
+            [32, 128, 256],
+            apps=("srad",),
+            scale=SCALE,
+        )
+        means = result.extras["means"]
+        assert means[32] <= means[128] <= means[256] * 1.02
+
+    def test_platform_sweep(self):
+        # Slower SSDs make Tier-2 relief more valuable.
+        result = sweep_config(
+            "platform.ssd_read_bandwidth",
+            [2.0 * 2**30, 8.0 * 2**30],
+            apps=("srad",),
+            scale=SCALE,
+        )
+        means = result.extras["means"]
+        assert means[2.0 * 2**30] >= means[8.0 * 2**30] * 0.95
+
+    def test_rows_shape(self):
+        result = sweep_config("tier2_frames", [64, 128], apps=("srad", "hotspot"), scale=SCALE)
+        assert len(result.rows) == 2
+        assert len(result.rows[0]) == 1 + 2 + 1  # value + apps + mean
+        assert result.headers[-1] == "mean"
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_config("tier2_frames", [], scale=SCALE)
+
+    def test_policy_only_knob_with_fixed_baseline(self):
+        result = sweep_config(
+            "tier3_bias_enabled",
+            [True, False],
+            apps=("hotspot",),
+            scale=SCALE,
+            vary_baseline=False,
+        )
+        means = result.extras["means"]
+        assert means[True] >= means[False]

@@ -1,0 +1,54 @@
+"""Unit tests for the Figure 6 microbenchmark helpers."""
+
+import pytest
+
+from repro.experiments.fig6 import crossover_pages, zipf_delivered_bandwidth
+from repro.sim.transfer import DmaEngine, HybridEngine, ZeroCopyEngine
+from repro.units import GiB
+
+
+class TestCrossoverPages:
+    def test_default_engines_cross_near_eight(self):
+        assert crossover_pages(DmaEngine(), ZeroCopyEngine()) == 8
+
+    def test_never_crossing_returns_none(self):
+        slow_zc = ZeroCopyEngine(pin_overhead_ns=1e12)
+        assert crossover_pages(DmaEngine(), slow_zc, limit=64) is None
+
+    def test_instant_zero_copy_crosses_at_one(self):
+        fast_zc = ZeroCopyEngine(pin_overhead_ns=0.0, warp_bandwidth=1e15)
+        assert crossover_pages(DmaEngine(), fast_zc) == 1
+
+
+class TestZipfDeliveredBandwidth:
+    def test_deterministic(self):
+        engine = HybridEngine(min_threads=32)
+        a = zipf_delivered_bandwidth(engine, 0.5, num_warps=300)
+        b = zipf_delivered_bandwidth(engine, 0.5, num_warps=300)
+        assert a == b
+
+    def test_zero_copy_declines_with_skew(self):
+        zc = ZeroCopyEngine()
+        low = zipf_delivered_bandwidth(zc, 0.0, num_warps=500)
+        high = zipf_delivered_bandwidth(zc, 1.2, num_warps=500)
+        assert high < low
+
+    def test_dma_roughly_flat(self):
+        dma = DmaEngine()
+        low = zipf_delivered_bandwidth(dma, 0.0, num_warps=500)
+        high = zipf_delivered_bandwidth(dma, 1.0, num_warps=500)
+        assert high == pytest.approx(low, rel=0.05)
+
+    def test_bandwidths_physical(self):
+        for engine in (DmaEngine(), ZeroCopyEngine(), HybridEngine()):
+            bw = zipf_delivered_bandwidth(engine, 0.4, num_warps=300)
+            assert 0 < bw < 64 * GiB
+
+    def test_all_hits_gives_zero_bandwidth(self):
+        # Cache as large as the footprint: after warm-up nothing transfers;
+        # delivered bandwidth stays finite and small.
+        engine = DmaEngine()
+        bw = zipf_delivered_bandwidth(
+            engine, 0.0, footprint_pages=64, cache_frames=64, num_warps=200
+        )
+        assert bw >= 0

@@ -1,0 +1,122 @@
+"""Integration tests: full workloads through full runtimes.
+
+These replay real (small-scale) Table 2 workloads through every runtime
+and check the paper's cross-cutting claims end to end.
+"""
+
+import pytest
+
+from repro.baselines.bam import BamRuntime
+from repro.baselines.hmm import HmmRuntime
+from repro.core.runtime import GMTRuntime
+from repro.experiments.harness import default_config, get_workload
+
+SCALE = 4096  # Tier-1 = 64 frames; each run takes well under a second.
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config(scale=SCALE)
+
+
+def run(kind_cls, config, workload):
+    runtime = kind_cls(config)
+    result = runtime.run(workload)
+    runtime.check_invariants()
+    return result
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("app", ["hotspot", "srad", "pagerank", "lavamd"])
+    def test_all_runtimes_complete(self, config, app):
+        workload = get_workload(app, config)
+        for cls in (BamRuntime, HmmRuntime, GMTRuntime):
+            result = run(cls, config, workload)
+            assert result.elapsed_ns > 0
+            assert result.stats.coalesced_accesses > 0
+
+    def test_same_workload_same_accesses_across_runtimes(self, config):
+        workload = get_workload("srad", config)
+        counts = {
+            cls.__name__: run(cls, config, workload).stats.coalesced_accesses
+            for cls in (BamRuntime, HmmRuntime, GMTRuntime)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_gmt_reuse_reduces_ssd_io_on_high_reuse_apps(self, config):
+        for app in ("srad", "backprop", "hotspot"):
+            workload = get_workload(app, config)
+            bam = run(BamRuntime, config, workload)
+            gmt = run(GMTRuntime, config, workload)
+            assert gmt.stats.ssd_page_ios < bam.stats.ssd_page_ios, app
+
+    def test_gmt_reuse_faster_than_bam_on_high_reuse_apps(self, config):
+        for app in ("srad", "backprop", "hotspot"):
+            workload = get_workload(app, config)
+            bam = run(BamRuntime, config, workload)
+            gmt = run(GMTRuntime, config, workload)
+            assert gmt.speedup_over(bam) > 1.05, app
+
+    def test_bam_faster_than_hmm(self, config):
+        workload = get_workload("pagerank", config)
+        bam = run(BamRuntime, config, workload)
+        hmm = run(HmmRuntime, config, workload)
+        assert bam.elapsed_ns < hmm.elapsed_ns
+
+    def test_lavamd_roughly_flat(self, config):
+        """Low-reuse apps gain little from Tier-2 (section 3.3)."""
+        workload = get_workload("lavamd", config)
+        bam = run(BamRuntime, config, workload)
+        gmt = run(GMTRuntime, config, workload)
+        assert 0.7 < gmt.speedup_over(bam) < 2.0
+
+    def test_hotspot_heuristic_engages(self, config):
+        """Section 2.2's 80% rule must fire on the all-Tier-3 app."""
+        workload = get_workload("hotspot", config)
+        gmt = GMTRuntime(config)
+        gmt.run(workload)
+        assert gmt.stats.forced_t2_placements > 0
+        assert gmt.stats.t2_hits > 0
+
+    def test_prediction_machinery_engages_on_iterative_apps(self, config):
+        workload = get_workload("backprop", config)
+        gmt = GMTRuntime(config)
+        gmt.run(workload)
+        assert gmt.stats.predictions_made > 0
+        assert gmt.stats.resolved_predictions > 0
+
+    def test_hmm_uses_host_fault_concurrency(self, config):
+        workload = get_workload("lavamd", config)
+        hmm = HmmRuntime(config)
+        result = hmm.run(workload)
+        expected = result.stats and hmm.cost.fault_concurrency
+        assert expected == config.platform.host_fault_concurrency
+
+    def test_runtime_results_stable_across_replays(self, config):
+        """Re-running the same workload object gives identical traces."""
+        workload = get_workload("sssp", config)
+        a = run(GMTRuntime, config, workload)
+        b = run(GMTRuntime, config, workload)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+
+class TestCapacitySweeps:
+    def test_bigger_tier2_never_hurts_much(self, config):
+        from dataclasses import replace
+
+        workload = get_workload("srad", config)
+        elapsed = []
+        for ratio in (1, 4, 8):
+            cfg = replace(config, tier2_frames=config.tier1_frames * ratio)
+            elapsed.append(GMTRuntime(cfg).run(workload).elapsed_ns)
+        assert elapsed[2] < elapsed[0]
+
+    def test_zero_tier2_equals_bam_behaviour(self, config):
+        from dataclasses import replace
+
+        workload = get_workload("pathfinder", config)
+        cfg = replace(config, tier2_frames=0, policy="tier-order")
+        gmt = GMTRuntime(cfg).run(workload)
+        bam = BamRuntime(config).run(workload)
+        assert gmt.stats.ssd_page_ios == bam.stats.ssd_page_ios

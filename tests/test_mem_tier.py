@@ -1,0 +1,74 @@
+"""Unit tests for repro.mem.tier."""
+
+import pytest
+
+from repro.errors import CapacityError, PageStateError
+from repro.mem.tier import Tier
+
+
+class TestTier:
+    def test_empty(self):
+        t = Tier("Tier-1", 4)
+        assert len(t) == 0
+        assert not t.full
+        assert t.free_frames == 4
+
+    def test_insert_and_contains(self):
+        t = Tier("Tier-1", 2)
+        t.insert(10)
+        assert 10 in t
+        assert 11 not in t
+        assert len(t) == 1
+
+    def test_insert_to_capacity(self):
+        t = Tier("Tier-1", 2)
+        t.insert(1)
+        t.insert(2)
+        assert t.full
+        assert t.free_frames == 0
+
+    def test_insert_beyond_capacity_raises(self):
+        t = Tier("Tier-1", 1)
+        t.insert(1)
+        with pytest.raises(CapacityError):
+            t.insert(2)
+
+    def test_duplicate_insert_raises(self):
+        t = Tier("Tier-1", 2)
+        t.insert(1)
+        with pytest.raises(PageStateError):
+            t.insert(1)
+
+    def test_remove(self):
+        t = Tier("Tier-1", 2)
+        t.insert(1)
+        t.remove(1)
+        assert 1 not in t
+        assert t.free_frames == 2
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(PageStateError):
+            Tier("Tier-1", 2).remove(5)
+
+    def test_zero_capacity_models_missing_tier(self):
+        t = Tier("Tier-2", 0)
+        assert t.full  # BaM's absent Tier-2 is always "full"
+        with pytest.raises(CapacityError):
+            t.insert(1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            Tier("bad", -1)
+
+    def test_iteration(self):
+        t = Tier("Tier-1", 3)
+        for p in (5, 6):
+            t.insert(p)
+        assert sorted(t) == [5, 6]
+
+    def test_reinsert_after_remove(self):
+        t = Tier("Tier-1", 1)
+        t.insert(1)
+        t.remove(1)
+        t.insert(1)
+        assert 1 in t

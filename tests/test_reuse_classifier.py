@@ -1,0 +1,56 @@
+"""Unit tests for Eq. 1's RRD classifier."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reuse.classifier import ReuseClass, RRDClassifier
+
+
+class TestRRDClassifier:
+    @pytest.fixture
+    def clf(self):
+        # Tier-1 = 100 frames, Tier-2 = 400 frames -> bounds 100 / 500.
+        return RRDClassifier(tier1_frames=100, tier2_frames=400)
+
+    def test_short_below_tier1(self, clf):
+        assert clf.classify(0) is ReuseClass.SHORT
+        assert clf.classify(99) is ReuseClass.SHORT
+
+    def test_medium_between_bounds(self, clf):
+        assert clf.classify(100) is ReuseClass.MEDIUM
+        assert clf.classify(499) is ReuseClass.MEDIUM
+
+    def test_long_at_and_above_cumulative_capacity(self, clf):
+        assert clf.classify(500) is ReuseClass.LONG
+        assert clf.classify(10_000) is ReuseClass.LONG
+
+    def test_none_is_long(self, clf):
+        # No predicted reuse = infinitely far = long-reuse.
+        assert clf.classify(None) is ReuseClass.LONG
+
+    def test_float_rrds(self, clf):
+        assert clf.classify(99.9) is ReuseClass.SHORT
+        assert clf.classify(100.0) is ReuseClass.MEDIUM
+
+    def test_negative_rrd_rejected(self, clf):
+        with pytest.raises(ValueError):
+            clf.classify(-1)
+
+    def test_bounds_exposed(self, clf):
+        assert clf.short_bound == 100
+        assert clf.medium_bound == 500
+
+    def test_zero_tier2_collapses_medium(self):
+        clf = RRDClassifier(tier1_frames=100, tier2_frames=0)
+        assert clf.classify(100) is ReuseClass.LONG
+
+    def test_invalid_capacities(self):
+        with pytest.raises(ConfigError):
+            RRDClassifier(tier1_frames=0, tier2_frames=10)
+        with pytest.raises(ConfigError):
+            RRDClassifier(tier1_frames=10, tier2_frames=-1)
+
+    def test_class_maps_to_tier_number(self):
+        assert ReuseClass.SHORT.value == 1
+        assert ReuseClass.MEDIUM.value == 2
+        assert ReuseClass.LONG.value == 3

@@ -1,0 +1,102 @@
+"""Unit tests for the exact reuse-distance tracker (Fenwick tree)."""
+
+import pytest
+
+from repro.reuse.distance import ReuseDistanceTracker, _FenwickTree, reuse_distances
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        t = _FenwickTree(8)
+        t.add(3, 5)
+        t.add(6, 2)
+        assert t.prefix_sum(2) == 0
+        assert t.prefix_sum(3) == 5
+        assert t.prefix_sum(6) == 7
+        assert t.prefix_sum(8) == 7
+
+    def test_prefix_sum_beyond_size_clamps(self):
+        t = _FenwickTree(4)
+        t.add(4, 1)
+        assert t.prefix_sum(100) == 1
+
+    def test_prefix_sum_zero_index(self):
+        assert _FenwickTree(4).prefix_sum(0) == 0
+
+    def test_negative_updates(self):
+        t = _FenwickTree(4)
+        t.add(2, 1)
+        t.add(2, -1)
+        assert t.prefix_sum(4) == 0
+
+    def test_out_of_range_add(self):
+        t = _FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(0, 1)
+        with pytest.raises(IndexError):
+            t.add(5, 1)
+
+
+def naive_reuse_distances(pages):
+    """Quadratic reference implementation."""
+    result = []
+    for i, page in enumerate(pages):
+        prev = None
+        for j in range(i - 1, -1, -1):
+            if pages[j] == page:
+                prev = j
+                break
+        if prev is None:
+            result.append(None)
+        else:
+            result.append(len(set(pages[prev + 1 : i])))
+    return result
+
+
+class TestReuseDistanceTracker:
+    def test_first_access_is_none(self):
+        t = ReuseDistanceTracker()
+        assert t.record(1) is None
+
+    def test_immediate_reuse_is_zero(self):
+        t = ReuseDistanceTracker()
+        t.record(1)
+        assert t.record(1) == 0
+
+    def test_classic_example(self):
+        assert reuse_distances([1, 2, 3, 1]) == [None, None, None, 2]
+
+    def test_duplicates_not_double_counted(self):
+        # 1 2 2 2 1: only one distinct page between the 1s.
+        assert reuse_distances([1, 2, 2, 2, 1])[-1] == 1
+
+    def test_matches_naive_on_mixed_trace(self):
+        pages = [1, 2, 1, 3, 2, 4, 1, 4, 2, 5, 3, 3, 1]
+        assert reuse_distances(pages) == naive_reuse_distances(pages)
+
+    def test_matches_naive_on_random_trace(self):
+        import random
+
+        rng = random.Random(42)
+        pages = [rng.randrange(20) for _ in range(500)]
+        assert reuse_distances(pages) == naive_reuse_distances(pages)
+
+    def test_counters(self):
+        t = ReuseDistanceTracker()
+        for p in [1, 2, 1]:
+            t.record(p)
+        assert t.accesses == 3
+        assert t.distinct_pages == 2
+
+    def test_growth_beyond_initial_capacity(self):
+        t = ReuseDistanceTracker()
+        n = t._INITIAL_CAPACITY + 100
+        for p in range(n):
+            t.record(p)
+        # Reuse of the very first page sees n-1 distinct pages.
+        assert t.record(0) == n - 1
+
+    def test_sweep_distances_equal_footprint_minus_one(self):
+        pages = list(range(50)) + list(range(50))
+        rds = reuse_distances(pages)
+        assert all(rd == 49 for rd in rds[50:])

@@ -1,0 +1,70 @@
+"""Unit tests for the 3-state Markov-chain tier predictor (Fig. 5)."""
+
+from repro.reuse.classifier import ReuseClass
+from repro.reuse.markov import MarkovTierPredictor
+
+S, M, L = ReuseClass.SHORT, ReuseClass.MEDIUM, ReuseClass.LONG
+
+
+class TestMarkovTierPredictor:
+    def test_no_history_predicts_none(self):
+        p = MarkovTierPredictor()
+        assert p.predict(None) is None
+
+    def test_state_without_outgoing_weight_predicts_none(self):
+        p = MarkovTierPredictor()
+        p.record_transition(M, L)
+        assert p.predict(S) is None  # S row is empty
+
+    def test_learns_constant_pattern(self):
+        # Figure 4(b): same tier at every eviction -> self-loop dominates.
+        p = MarkovTierPredictor()
+        for _ in range(5):
+            p.record_transition(M, M)
+        assert p.predict(M) is M
+
+    def test_learns_alternating_pattern(self):
+        # Figure 4(c): tiers alternate M <-> L; a 1-level history cannot
+        # capture this, the 2-level transition weights can.
+        p = MarkovTierPredictor()
+        for _ in range(5):
+            p.record_transition(M, L)
+            p.record_transition(L, M)
+        assert p.predict(M) is L
+        assert p.predict(L) is M
+
+    def test_majority_wins(self):
+        p = MarkovTierPredictor()
+        for _ in range(3):
+            p.record_transition(S, M)
+        p.record_transition(S, L)
+        assert p.predict(S) is M
+
+    def test_tie_breaks_toward_nearer_tier(self):
+        p = MarkovTierPredictor()
+        p.record_transition(S, M)
+        p.record_transition(S, L)
+        assert p.predict(S) is M
+
+    def test_updates_counter(self):
+        p = MarkovTierPredictor()
+        p.record_transition(S, S)
+        p.record_transition(M, L)
+        assert p.updates == 2
+
+    def test_weight_accessor(self):
+        p = MarkovTierPredictor()
+        p.record_transition(M, L)
+        p.record_transition(M, L)
+        assert p.weight(M, L) == 2
+        assert p.weight(L, M) == 0
+
+    def test_snapshot(self):
+        p = MarkovTierPredictor()
+        p.record_transition(M, L)
+        snap = p.snapshot()
+        assert snap["MEDIUM"]["LONG"] == 1
+        assert snap["SHORT"]["SHORT"] == 0
+        # Snapshot is a copy.
+        snap["MEDIUM"]["LONG"] = 99
+        assert p.weight(M, L) == 1

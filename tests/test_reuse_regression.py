@@ -1,0 +1,91 @@
+"""Unit tests for the incremental OLS regression (Eq. 2/3)."""
+
+import pytest
+
+from repro.reuse.regression import IncrementalOLS, LinearModel, fit_ols
+
+
+class TestLinearModel:
+    def test_predict(self):
+        m = LinearModel(m=2.0, b=3.0)
+        assert m.predict(4.0) == 11.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            LinearModel(m=1.0, b=0.0).m = 2.0
+
+
+class TestFitOls:
+    def test_perfect_line(self):
+        model = fit_ols([1, 2, 3, 4], [3, 5, 7, 9])  # y = 2x + 1
+        assert model.m == pytest.approx(2.0)
+        assert model.b == pytest.approx(1.0)
+
+    def test_noisy_line_close(self):
+        xs = list(range(100))
+        ys = [0.5 * x + 10 + (-1) ** x * 0.1 for x in xs]
+        model = fit_ols(xs, ys)
+        assert model.m == pytest.approx(0.5, abs=0.01)
+        assert model.b == pytest.approx(10.0, abs=0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_ols([1, 2], [1])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ols([1], [1])
+
+    def test_matches_numpy_polyfit(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 1000, 200)
+        ys = 1.7 * xs + 42 + rng.normal(0, 5, 200)
+        model = fit_ols(list(xs), list(ys))
+        m_np, b_np = np.polyfit(xs, ys, 1)
+        assert model.m == pytest.approx(m_np, rel=1e-9)
+        assert model.b == pytest.approx(b_np, rel=1e-9)
+
+
+class TestIncrementalOLS:
+    def test_not_ready_initially(self):
+        assert not IncrementalOLS().ready
+
+    def test_batched_equals_oneshot(self):
+        xs = [1.0, 2.0, 5.0, 7.0, 11.0, 13.0]
+        ys = [2.0, 3.0, 9.0, 15.0, 20.0, 27.0]
+        one = fit_ols(xs, ys)
+        inc = IncrementalOLS()
+        inc.update(xs[:3], ys[:3])
+        inc.update(xs[3:], ys[3:])
+        batched = inc.model()
+        assert batched.m == pytest.approx(one.m)
+        assert batched.b == pytest.approx(one.b)
+
+    def test_count(self):
+        inc = IncrementalOLS()
+        inc.update([1, 2], [1, 2])
+        inc.add(3, 3)
+        assert inc.count == 3
+
+    def test_constant_x_falls_back_to_ratio(self):
+        # Perfectly periodic workloads have constant VTD; the degenerate
+        # fit is the proportional line through the origin.
+        inc = IncrementalOLS()
+        inc.update([10.0, 10.0, 10.0], [5.0, 6.0, 7.0])
+        assert inc.ready
+        model = inc.model()
+        assert model.b == 0.0
+        assert model.m == pytest.approx(0.6)  # mean(y)/mean(x)
+
+    def test_constant_zero_x_rejected(self):
+        inc = IncrementalOLS()
+        inc.update([0.0, 0.0], [1.0, 2.0])
+        assert not inc.ready
+        with pytest.raises(ValueError):
+            inc.model()
+
+    def test_update_length_mismatch(self):
+        with pytest.raises(ValueError):
+            IncrementalOLS().update([1, 2], [1])

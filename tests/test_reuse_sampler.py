@@ -1,0 +1,71 @@
+"""Unit tests for the VTD sampler (pipelined sampling -> OLS)."""
+
+import pytest
+
+from repro.reuse.sampler import VTDSampler
+
+
+def feed_sweep(sampler: VTDSampler, footprint: int, repeats: int) -> None:
+    """Feed repeated sweeps; VTD == footprint for every reuse."""
+    now = 0
+    last = {}
+    for _ in range(repeats):
+        for page in range(footprint):
+            now += 1
+            vtd = now - last[page] if page in last else None
+            last[page] = now
+            sampler.observe(page, vtd)
+
+
+class TestVTDSampler:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            VTDSampler(sample_target=0)
+        with pytest.raises(ValueError):
+            VTDSampler(batch_size=0)
+
+    def test_no_model_before_first_flush(self):
+        s = VTDSampler(sample_target=100, batch_size=50)
+        feed_sweep(s, footprint=10, repeats=2)  # only 10 pairs
+        assert s.collected == 10
+        assert s.model is None
+        assert s.predict_rrd(5) is None
+
+    def test_model_after_flush(self):
+        s = VTDSampler(sample_target=100, batch_size=10)
+        feed_sweep(s, footprint=10, repeats=5)
+        assert s.model is not None
+
+    def test_sampling_stops_at_target(self):
+        s = VTDSampler(sample_target=20, batch_size=10)
+        feed_sweep(s, footprint=10, repeats=10)
+        assert s.collected == 20
+        assert s.sampling_done
+
+    def test_observe_after_done_is_noop(self):
+        s = VTDSampler(sample_target=10, batch_size=5)
+        feed_sweep(s, footprint=10, repeats=3)
+        collected = s.collected
+        s.observe(1, 5)
+        assert s.collected == collected
+
+    def test_prediction_clamped_at_zero(self):
+        s = VTDSampler(sample_target=100, batch_size=10)
+        # Line with positive slope and negative offset possible; clamp check
+        # via a tiny rvtd after learning on big ones.
+        feed_sweep(s, footprint=50, repeats=3)
+        assert s.predict_rrd(0) >= 0.0
+
+    def test_sweep_learns_identity_like_relation(self):
+        # On a pure sweep, RD = footprint - 1 and VTD = footprint for every
+        # reuse, so the fitted line maps VTD=footprint -> ~footprint-1.
+        s = VTDSampler(sample_target=500, batch_size=50)
+        feed_sweep(s, footprint=100, repeats=4)
+        predicted = s.predict_rrd(100)
+        assert predicted == pytest.approx(99, abs=1.5)
+
+    def test_cold_accesses_not_sampled(self):
+        s = VTDSampler(sample_target=10, batch_size=5)
+        for page in range(20):
+            s.observe(page, None)
+        assert s.collected == 0

@@ -1,0 +1,175 @@
+"""Hand-computed cost-accounting checks for the runtime's time model.
+
+Small deterministic scenarios whose expected elapsed time can be derived
+on paper — the arithmetic behind every speedup in the evaluation.
+"""
+
+import pytest
+
+from repro.baselines.hmm import HmmRuntime
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.sim.latency import PlatformModel
+from repro.units import GiB, PAGE_SIZE, SEC
+
+
+def big_bandwidth_platform(**kwargs):
+    """Bandwidths high enough that latency terms dominate."""
+    defaults = dict(
+        pcie_bandwidth=10_000 * GiB,
+        ssd_read_bandwidth=10_000 * GiB,
+        ssd_write_bandwidth=10_000 * GiB,
+    )
+    defaults.update(kwargs)
+    return PlatformModel(**defaults)
+
+
+def make_runtime(platform, tier1=4, tier2=8, policy="tier-order", **kwargs):
+    cfg = GMTConfig(
+        tier1_frames=tier1,
+        tier2_frames=tier2,
+        policy=policy,
+        platform=platform,
+        sample_target=50,
+        sample_batch=10,
+        **kwargs,
+    )
+    return GMTRuntime(cfg)
+
+
+class TestFaultLatencyAccounting:
+    def test_cold_miss_cost(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform)
+        rt.access(1)
+        expected = platform.tier2_lookup_ns + platform.ssd_read_latency_ns
+        assert rt.cost.fault_latency_ns == pytest.approx(expected)
+
+    def test_hit_adds_no_fault_latency(self):
+        rt = make_runtime(big_bandwidth_platform())
+        rt.access(1)
+        before = rt.cost.fault_latency_ns
+        rt.access(1)
+        assert rt.cost.fault_latency_ns == before
+
+    def test_tier2_fetch_cost(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform, tier1=1, tier2=4)
+        rt.access(1)  # cold
+        rt.access(2)  # cold; evicts 1 -> Tier-2
+        base = rt.cost.fault_latency_ns
+        rt.access(1)  # Tier-2 hit; evicts 2 -> Tier-2
+        delta = rt.cost.fault_latency_ns - base
+        expected = (
+            platform.tier2_lookup_ns
+            + platform.host_fetch_latency_ns
+            + 2 * rt._t2_move_ns  # fetch move + eviction placement
+        )
+        assert delta == pytest.approx(expected)
+
+    def test_dirty_bypass_cost_includes_write_latency(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform, tier1=1, tier2=0)
+        rt.access(1, write=True)
+        base = rt.cost.fault_latency_ns
+        rt.access(2)  # evicts dirty 1 -> SSD write on the critical path
+        delta = rt.cost.fault_latency_ns - base
+        expected = platform.ssd_read_latency_ns + platform.ssd_write_latency_ns
+        assert delta == pytest.approx(expected)
+
+    def test_tier2_eviction_charge(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform, tier1=1, tier2=1)
+        rt.access(1)
+        rt.access(2)  # 1 -> Tier-2 (fills it)
+        base = rt.cost.fault_latency_ns
+        rt.access(3)  # 2 -> Tier-2 must first evict 1 (clean discard)
+        delta = rt.cost.fault_latency_ns - base
+        expected = (
+            platform.tier2_lookup_ns
+            + platform.ssd_read_latency_ns
+            + platform.tier2_eviction_ns
+            + rt._t2_move_ns
+        )
+        assert delta == pytest.approx(expected)
+
+    def test_compute_term(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform)
+        for p in range(5):
+            rt.access(p % 2)
+        assert rt.cost.compute_ns == pytest.approx(5 * platform.gpu_access_ns)
+
+
+class TestElapsedComposition:
+    def test_elapsed_is_fault_term_when_latency_bound(self):
+        platform = big_bandwidth_platform()
+        rt = make_runtime(platform, tier1=2, tier2=0)
+        for p in range(100):
+            rt.access(p)
+        b = rt.result().breakdown
+        assert b.bottleneck == "fault-latency"
+        expected = rt.cost.fault_latency_ns / platform.gpu_fault_concurrency
+        assert b.elapsed_ns == pytest.approx(expected)
+
+    def test_elapsed_is_ssd_term_when_bandwidth_bound(self):
+        platform = PlatformModel(ssd_read_bandwidth=0.001 * GiB)
+        rt = make_runtime(platform, tier1=2, tier2=0)
+        for p in range(50):
+            rt.access(p)
+        b = rt.result().breakdown
+        assert b.bottleneck == "ssd"
+        expected = 50 * PAGE_SIZE / (0.001 * GiB) * SEC
+        assert b.elapsed_ns == pytest.approx(expected)
+
+    def test_pcie_accounting_matches_transfers(self):
+        rt = make_runtime(big_bandwidth_platform(), tier1=1, tier2=4)
+        rt.access(1)
+        rt.access(2)
+        rt.access(1)
+        # Placements: 1 then 2 (d2h); fetch of 1 (h2d).
+        assert rt.pcie.d2h_transfers == 2
+        assert rt.pcie.h2d_transfers == 1
+        assert rt.pcie.total_bytes == 3 * PAGE_SIZE
+
+
+class TestHmmAccounting:
+    def test_host_overhead_on_every_miss(self):
+        platform = big_bandwidth_platform()
+        cfg = GMTConfig(
+            tier1_frames=4,
+            tier2_frames=8,
+            platform=platform,
+            sample_target=50,
+            sample_batch=10,
+        )
+        hmm = HmmRuntime(cfg)
+        for p in range(10):
+            hmm.access(p)
+        base = 10 * (
+            platform.host_fault_overhead_ns
+            + platform.tier2_lookup_ns
+            + platform.ssd_read_latency_ns
+        )
+        # Evictions beyond Tier-1 capacity add Tier-2 move costs on top.
+        assert hmm.cost.fault_latency_ns >= base
+        assert hmm.cost.fault_latency_ns == pytest.approx(
+            base + 6 * hmm._t2_move_ns
+        )
+
+    def test_hmm_divides_by_host_concurrency(self):
+        platform = big_bandwidth_platform()
+        cfg = GMTConfig(
+            tier1_frames=4,
+            tier2_frames=8,
+            platform=platform,
+            sample_target=50,
+            sample_batch=10,
+        )
+        hmm = HmmRuntime(cfg)
+        for p in range(20):
+            hmm.access(p)
+        b = hmm.result().breakdown
+        assert b.fault_ns == pytest.approx(
+            hmm.cost.fault_latency_ns / platform.host_fault_concurrency
+        )

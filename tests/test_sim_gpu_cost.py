@@ -1,0 +1,91 @@
+"""Unit tests for the SIMT front end and the cost model."""
+
+import pytest
+
+from repro.errors import SimulationError, TraceError
+from repro.sim.cost import CostBreakdown, CostModel
+from repro.sim.gpu import WarpAccess, coalesce, warp_of
+
+
+class TestWarpAccess:
+    def test_valid(self):
+        w = WarpAccess(pages=(1, 2, 3), write=True)
+        assert w.lanes == 3
+        assert w.write
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            WarpAccess(pages=())
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(TraceError):
+            WarpAccess(pages=tuple(range(33)))
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(TraceError):
+            WarpAccess(pages=(1, -2))
+
+    def test_warp_of_helper(self):
+        assert warp_of([4, 5]).pages == (4, 5)
+
+
+class TestCoalesce:
+    def test_unique_preserved(self):
+        assert coalesce(warp_of([1, 2, 3])) == [1, 2, 3]
+
+    def test_duplicates_merged(self):
+        assert coalesce(warp_of([7] * 32)) == [7]
+
+    def test_first_occurrence_order(self):
+        assert coalesce(warp_of([3, 1, 3, 2, 1])) == [3, 1, 2]
+
+
+class TestCostModel:
+    def test_accumulates(self):
+        c = CostModel(fault_concurrency=4)
+        c.add_compute(100.0)
+        c.add_compute(50.0)
+        c.add_fault_latency(1000.0)
+        assert c.compute_ns == 150.0
+        assert c.fault_latency_ns == 1000.0
+
+    def test_fault_term_divided_by_concurrency(self):
+        c = CostModel(fault_concurrency=10)
+        c.add_fault_latency(1000.0)
+        assert c.breakdown().fault_ns == pytest.approx(100.0)
+
+    def test_elapsed_is_max_of_terms(self):
+        b = CostBreakdown(compute_ns=10, fault_ns=40, pcie_ns=20, ssd_ns=30)
+        assert b.elapsed_ns == 40
+        assert b.bottleneck == "fault-latency"
+
+    def test_bottleneck_names(self):
+        assert CostBreakdown(1, 0, 0, 0).bottleneck == "compute"
+        assert CostBreakdown(0, 0, 5, 0).bottleneck == "pcie"
+        assert CostBreakdown(0, 0, 0, 5).bottleneck == "ssd"
+
+    def test_breakdown_includes_device_floors(self):
+        c = CostModel(fault_concurrency=1)
+        b = c.breakdown(pcie_busy_ns=7.0, ssd_busy_ns=9.0)
+        assert b.pcie_ns == 7.0
+        assert b.ssd_ns == 9.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CostModel(fault_concurrency=0)
+        c = CostModel(fault_concurrency=1)
+        with pytest.raises(SimulationError):
+            c.add_compute(-1)
+        with pytest.raises(SimulationError):
+            c.add_fault_latency(-1)
+        with pytest.raises(SimulationError):
+            c.breakdown(pcie_busy_ns=-1)
+
+    def test_gpu_vs_host_orchestration_gap(self):
+        """The same fault latencies hurt a CPU-orchestrated system far
+        more — the crux of section 3.6."""
+        gpu = CostModel(fault_concurrency=128)
+        host = CostModel(fault_concurrency=6)
+        for c in (gpu, host):
+            c.add_fault_latency(1_000_000.0)
+        assert host.breakdown().fault_ns > 20 * gpu.breakdown().fault_ns

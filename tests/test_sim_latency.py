@@ -1,0 +1,55 @@
+"""Unit tests for the platform constant sheet."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.latency import PlatformModel
+from repro.units import GiB, USEC
+
+
+class TestPlatformModel:
+    def test_paper_defaults(self):
+        p = PlatformModel()
+        # Section 3.4's measured latencies.
+        assert p.ssd_read_latency_ns == pytest.approx(130 * USEC)
+        assert p.host_fetch_latency_ns == pytest.approx(50 * USEC)
+        assert p.tier2_lookup_ns == pytest.approx(50.0)
+
+    def test_gpu_beats_host_on_fault_parallelism(self):
+        p = PlatformModel()
+        assert p.gpu_fault_concurrency > 10 * p.host_fault_concurrency
+
+    def test_host_pagecache_below_raw_ssd(self):
+        p = PlatformModel()
+        assert p.host_pagecache_ssd_bandwidth < p.ssd_read_bandwidth
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PlatformModel().pcie_bandwidth = 1.0
+
+    def test_custom_platform(self):
+        p = PlatformModel(pcie_bandwidth=8 * GiB, gpu_fault_concurrency=64)
+        assert p.pcie_bandwidth == 8 * GiB
+        assert p.gpu_fault_concurrency == 64
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "ssd_read_latency_ns",
+            "pcie_bandwidth",
+            "ssd_read_bandwidth",
+            "gpu_fault_concurrency",
+            "host_fault_concurrency",
+        ],
+    )
+    def test_positive_fields_validated(self, field):
+        with pytest.raises(ConfigError):
+            PlatformModel(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field", ["tier2_lookup_ns", "tier2_eviction_ns", "host_fault_overhead_ns"]
+    )
+    def test_non_negative_fields_validated(self, field):
+        with pytest.raises(ConfigError):
+            PlatformModel(**{field: -1.0})
+        PlatformModel(**{field: 0.0})  # zero is legal

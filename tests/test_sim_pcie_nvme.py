@@ -1,0 +1,108 @@
+"""Unit tests for the PCIe link and NVMe SSD models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.nvme import NvmeSSD
+from repro.sim.pcie import PCIeLink
+from repro.units import GiB, PAGE_SIZE, SEC, USEC
+
+
+class TestPCIeLink:
+    def test_traffic_accounting(self):
+        link = PCIeLink(bandwidth=12 * GiB)
+        link.record_h2d(PAGE_SIZE)
+        link.record_h2d(PAGE_SIZE)
+        link.record_d2h(PAGE_SIZE)
+        assert link.h2d_bytes == 2 * PAGE_SIZE
+        assert link.d2h_bytes == PAGE_SIZE
+        assert link.total_transfers == 3
+
+    def test_wire_time(self):
+        link = PCIeLink(bandwidth=1 * GiB)
+        assert link.wire_time_ns(GiB) == pytest.approx(SEC)
+
+    def test_busy_time_covers_both_directions(self):
+        link = PCIeLink(bandwidth=1 * GiB)
+        link.record_h2d(GiB // 2)
+        link.record_d2h(GiB // 2)
+        assert link.busy_time_ns() == pytest.approx(SEC)
+
+    def test_reset(self):
+        link = PCIeLink(bandwidth=GiB)
+        link.record_h2d(10)
+        link.reset()
+        assert link.total_bytes == 0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(SimulationError):
+            PCIeLink(bandwidth=0)
+
+    def test_negative_transfer_rejected(self):
+        link = PCIeLink(bandwidth=GiB)
+        with pytest.raises(SimulationError):
+            link.record_h2d(-1)
+
+
+class TestNvmeSSD:
+    def make(self, queue_depth=4, bandwidth=100 * GiB):
+        # Bandwidth is set high by default so latency terms dominate the
+        # batch tests; bandwidth-floor tests pass an explicit value.
+        return NvmeSSD(
+            read_latency_ns=100 * USEC,
+            write_latency_ns=30 * USEC,
+            read_bandwidth=bandwidth,
+            write_bandwidth=bandwidth,
+            queue_depth=queue_depth,
+        )
+
+    def test_counters(self):
+        ssd = self.make()
+        ssd.record_read(PAGE_SIZE)
+        ssd.record_write(PAGE_SIZE)
+        ssd.record_write(PAGE_SIZE)
+        assert ssd.reads == 1 and ssd.writes == 2
+        assert ssd.total_bytes == 3 * PAGE_SIZE
+
+    def test_single_command_costs_one_latency(self):
+        ssd = self.make()
+        assert ssd.batch_time_ns(1, PAGE_SIZE) == pytest.approx(100 * USEC)
+
+    def test_batch_within_queue_depth_overlaps(self):
+        ssd = self.make(queue_depth=4)
+        assert ssd.batch_time_ns(4, PAGE_SIZE) == pytest.approx(100 * USEC)
+
+    def test_batch_beyond_queue_depth_takes_waves(self):
+        ssd = self.make(queue_depth=4)
+        assert ssd.batch_time_ns(8, PAGE_SIZE) == pytest.approx(200 * USEC)
+
+    def test_bandwidth_floor_dominates_large_batches(self):
+        ssd = self.make(queue_depth=1_000_000, bandwidth=1 * GiB)
+        t = ssd.batch_time_ns(16_384, PAGE_SIZE)  # 1 GiB at 1 GiB/s
+        assert t == pytest.approx(SEC)
+
+    def test_write_batches_use_write_latency(self):
+        ssd = self.make()
+        assert ssd.batch_time_ns(1, PAGE_SIZE, write=True) == pytest.approx(30 * USEC)
+
+    def test_empty_batch_is_free(self):
+        assert self.make().batch_time_ns(0, PAGE_SIZE) == 0.0
+
+    def test_busy_time(self):
+        ssd = self.make(bandwidth=1 * GiB)
+        ssd.record_read(GiB)
+        assert ssd.busy_time_ns() == pytest.approx(SEC)
+
+    def test_reset(self):
+        ssd = self.make()
+        ssd.record_read(10)
+        ssd.reset()
+        assert ssd.total_commands == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            self.make(queue_depth=0)
+        with pytest.raises(SimulationError):
+            self.make().batch_time_ns(-1, PAGE_SIZE)
+        with pytest.raises(SimulationError):
+            self.make().record_read(-1)

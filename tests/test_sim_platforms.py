@@ -1,0 +1,79 @@
+"""Tests for platform presets and calibration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.latency import PlatformModel
+from repro.sim.platforms import (
+    COHERENT_LINK_PLATFORM,
+    GEN4_PLATFORM,
+    PAPER_PLATFORM,
+    PLATFORM_PRESETS,
+    calibrate,
+    get_platform,
+)
+from repro.units import GiB
+
+
+class TestPresets:
+    def test_paper_is_default(self):
+        assert PAPER_PLATFORM == PlatformModel()
+
+    def test_gen4_faster_than_paper(self):
+        assert GEN4_PLATFORM.pcie_bandwidth > PAPER_PLATFORM.pcie_bandwidth
+        assert GEN4_PLATFORM.ssd_read_bandwidth > PAPER_PLATFORM.ssd_read_bandwidth
+        assert GEN4_PLATFORM.ssd_read_latency_ns < PAPER_PLATFORM.ssd_read_latency_ns
+
+    def test_coherent_link_shrinks_tier2_gap(self):
+        assert (
+            COHERENT_LINK_PLATFORM.host_fetch_latency_ns
+            < GEN4_PLATFORM.host_fetch_latency_ns / 5
+        )
+
+    def test_get_platform(self):
+        assert get_platform("paper") is PAPER_PLATFORM
+        assert get_platform("GEN4") is GEN4_PLATFORM
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            get_platform("tpu")
+
+    def test_all_presets_valid(self):
+        # Construction runs PlatformModel's validation; reaching here means
+        # every preset satisfies it.
+        assert set(PLATFORM_PRESETS) == {"paper", "gen4", "coherent"}
+
+
+class TestCalibrate:
+    def test_overrides_applied(self):
+        platform = calibrate("paper", ssd_read_latency_ns=95_000.0)
+        assert platform.ssd_read_latency_ns == 95_000.0
+        assert platform.pcie_bandwidth == PAPER_PLATFORM.pcie_bandwidth
+
+    def test_base_model_accepted(self):
+        platform = calibrate(GEN4_PLATFORM, pcie_bandwidth=20 * GiB)
+        assert platform.pcie_bandwidth == 20 * GiB
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate("paper", warp_speed=9)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigError):
+            calibrate("paper", ssd_read_bandwidth=0)
+
+    def test_end_to_end_with_runtime(self):
+        from repro.core.config import GMTConfig
+        from repro.core.runtime import GMTRuntime
+        from repro.workloads import make_workload
+
+        cfg = GMTConfig(
+            tier1_frames=16,
+            tier2_frames=64,
+            platform=get_platform("coherent"),
+            sample_target=200,
+            sample_batch=50,
+        )
+        workload = make_workload("srad", 160, jitter_warps=0)
+        result = GMTRuntime(cfg).run(workload)
+        assert result.elapsed_ns > 0

@@ -1,0 +1,41 @@
+"""Unit tests for the SSD-array platform helper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.latency import PlatformModel
+
+
+class TestWithSsdArray:
+    def test_scales_bandwidth_and_queue_depth(self):
+        base = PlatformModel()
+        quad = base.with_ssd_array(4)
+        assert quad.ssd_read_bandwidth == 4 * base.ssd_read_bandwidth
+        assert quad.ssd_write_bandwidth == 4 * base.ssd_write_bandwidth
+        assert quad.nvme_queue_depth == 4 * base.nvme_queue_depth
+
+    def test_latency_unchanged(self):
+        base = PlatformModel()
+        quad = base.with_ssd_array(4)
+        assert quad.ssd_read_latency_ns == base.ssd_read_latency_ns
+        assert quad.ssd_write_latency_ns == base.ssd_write_latency_ns
+
+    def test_other_fields_unchanged(self):
+        base = PlatformModel()
+        quad = base.with_ssd_array(2)
+        assert quad.pcie_bandwidth == base.pcie_bandwidth
+        assert quad.gpu_fault_concurrency == base.gpu_fault_concurrency
+
+    def test_identity(self):
+        base = PlatformModel()
+        assert base.with_ssd_array(1) == base
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            PlatformModel().with_ssd_array(0)
+
+    def test_original_not_mutated(self):
+        base = PlatformModel()
+        read_bw = base.ssd_read_bandwidth
+        base.with_ssd_array(8)
+        assert base.ssd_read_bandwidth == read_bw

@@ -1,0 +1,138 @@
+"""Unit tests for the Tier-1<->Tier-2 transfer engines (Fig. 6 mechanics)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.transfer import (
+    WARP_SIZE,
+    DmaEngine,
+    HybridEngine,
+    ZeroCopyEngine,
+    make_engine,
+)
+from repro.units import PAGE_SIZE
+
+
+class TestDmaEngine:
+    def test_linear_in_pages(self):
+        dma = DmaEngine()
+        t1 = dma.transfer_time_ns(1)
+        assert dma.transfer_time_ns(4) == pytest.approx(4 * t1)
+
+    def test_zero_pages_free(self):
+        assert DmaEngine().transfer_time_ns(0) == 0.0
+
+    def test_threads_do_not_matter(self):
+        dma = DmaEngine()
+        assert dma.transfer_time_ns(4, 1) == dma.transfer_time_ns(4, 32)
+
+    def test_mechanism(self):
+        assert DmaEngine().mechanism(100) == "dma"
+
+    def test_efficiency_is_constant(self):
+        dma = DmaEngine()
+        assert dma.efficiency(1) == pytest.approx(dma.efficiency(16))
+
+    def test_invalid_constants(self):
+        with pytest.raises(SimulationError):
+            DmaEngine(call_overhead_ns=-1)
+        with pytest.raises(SimulationError):
+            DmaEngine(bandwidth=0)
+
+
+class TestZeroCopyEngine:
+    def test_pin_overhead_dominates_small_batches(self):
+        zc = ZeroCopyEngine()
+        assert zc.transfer_time_ns(1) > DmaEngine().transfer_time_ns(1)
+
+    def test_amortizes_for_large_batches(self):
+        zc, dma = ZeroCopyEngine(), DmaEngine()
+        assert zc.transfer_time_ns(64) < dma.transfer_time_ns(64)
+
+    def test_bandwidth_scales_with_threads(self):
+        zc = ZeroCopyEngine()
+        assert zc.copy_bandwidth(16) == pytest.approx(zc.copy_bandwidth(32) / 2)
+
+    def test_fewer_threads_slower(self):
+        zc = ZeroCopyEngine()
+        assert zc.transfer_time_ns(16, 8) > zc.transfer_time_ns(16, 32)
+
+    def test_zero_pages_free(self):
+        assert ZeroCopyEngine().transfer_time_ns(0) == 0.0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(SimulationError):
+            ZeroCopyEngine().transfer_time_ns(4, 0)
+        with pytest.raises(SimulationError):
+            ZeroCopyEngine().transfer_time_ns(4, WARP_SIZE + 1)
+
+
+class TestCrossover:
+    def test_crossover_near_eight_pages(self):
+        """Figure 6(a): zero-copy overtakes DMA at ~8 non-contiguous pages."""
+        dma, zc = DmaEngine(), ZeroCopyEngine()
+        crossover = next(
+            n for n in range(1, 100) if zc.transfer_time_ns(n) < dma.transfer_time_ns(n)
+        )
+        assert 6 <= crossover <= 10
+
+
+class TestHybridEngine:
+    def test_small_batch_uses_dma(self):
+        h = HybridEngine(min_threads=32)
+        assert h.mechanism(4, 32) == "dma"
+
+    def test_large_batch_full_warp_uses_zero_copy(self):
+        h = HybridEngine(min_threads=32)
+        assert h.mechanism(16, 32) == "zero-copy"
+
+    def test_insufficient_threads_fall_back_to_dma(self):
+        h = HybridEngine(min_threads=32)
+        assert h.mechanism(16, 16) == "dma"
+        assert HybridEngine(min_threads=16).mechanism(16, 16) == "zero-copy"
+
+    def test_times_match_chosen_mechanism(self):
+        h = HybridEngine(min_threads=32)
+        assert h.transfer_time_ns(4, 32) == h.dma.transfer_time_ns(4, 32)
+        assert h.transfer_time_ns(16, 32) == h.zero_copy.transfer_time_ns(16, 32)
+
+    def test_name(self):
+        assert HybridEngine(min_threads=32).name == "Hybrid-32T"
+
+    def test_threshold_validation(self):
+        with pytest.raises(SimulationError):
+            HybridEngine(min_threads=0)
+        with pytest.raises(SimulationError):
+            HybridEngine(page_threshold=0)
+
+    def test_hybrid_never_much_worse_than_best(self):
+        """The Hybrid-32T property the paper selects it for."""
+        h = HybridEngine(min_threads=32)
+        dma, zc = DmaEngine(), ZeroCopyEngine()
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            best = min(dma.transfer_time_ns(n), zc.transfer_time_ns(n))
+            assert h.transfer_time_ns(n, 32) <= best * 1.05
+
+
+class TestMakeEngine:
+    def test_known_specs(self):
+        assert isinstance(make_engine("dma"), DmaEngine)
+        assert isinstance(make_engine("zero-copy"), ZeroCopyEngine)
+        hybrid = make_engine("hybrid-16t")
+        assert isinstance(hybrid, HybridEngine)
+        assert hybrid.min_threads == 16
+
+    def test_case_insensitive(self):
+        assert isinstance(make_engine("Hybrid-32T"), HybridEngine)
+        assert isinstance(make_engine("cudaMemcpyAsync"), DmaEngine)
+
+    def test_unknown_spec(self):
+        with pytest.raises(SimulationError):
+            make_engine("teleport")
+        with pytest.raises(SimulationError):
+            make_engine("hybrid-xt")
+
+    def test_efficiency_units(self):
+        # 64 KB in 1 us -> 64 GB/s-ish sanity check of the unit math.
+        dma = DmaEngine(call_overhead_ns=0, bandwidth=PAGE_SIZE * 1_000_000)
+        assert dma.efficiency(1) == pytest.approx(PAGE_SIZE * 1_000_000)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    SEC,
+    USEC,
+    bytes_for_pages,
+    format_bytes,
+    format_time,
+    pages_for_bytes,
+)
+
+
+class TestConstants:
+    def test_page_size_is_64kib(self):
+        assert PAGE_SIZE == 64 * 1024
+
+    def test_size_ladder(self):
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_time_ladder(self):
+        assert USEC == 1_000
+        assert SEC == 1_000_000_000
+
+
+class TestPagesForBytes:
+    def test_exact_multiple(self):
+        assert pages_for_bytes(2 * PAGE_SIZE) == 2
+
+    def test_rounds_up(self):
+        assert pages_for_bytes(PAGE_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert pages_for_bytes(0) == 0
+
+    def test_one_byte(self):
+        assert pages_for_bytes(1) == 1
+
+    def test_paper_tier1(self):
+        # 16 GB of Tier-1 = 262144 pages of 64 KB.
+        assert pages_for_bytes(16 * GiB) == 262_144
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for_bytes(-1)
+
+    def test_custom_page_size(self):
+        assert pages_for_bytes(8192, page_size=4096) == 2
+
+
+class TestBytesForPages:
+    def test_roundtrip(self):
+        assert bytes_for_pages(pages_for_bytes(10 * PAGE_SIZE)) == 10 * PAGE_SIZE
+
+    def test_zero(self):
+        assert bytes_for_pages(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_for_pages(-5)
+
+
+class TestFormatting:
+    def test_format_bytes_gib(self):
+        assert format_bytes(64 * GiB) == "64.0 GiB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_format_time_us(self):
+        assert format_time(130_000) == "130.0 us"
+
+    def test_format_time_ns(self):
+        assert format_time(50) == "50.0 ns"
+
+    def test_format_time_ms(self):
+        assert format_time(2_500_000) == "2.5 ms"
+
+    def test_format_time_s(self):
+        assert format_time(3 * SEC) == "3.000 s"

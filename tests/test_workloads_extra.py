@@ -1,0 +1,122 @@
+"""Tests for the extra (non-Table-2) workloads and the zipf generator."""
+
+import pytest
+
+from repro.analysis.characterize import characterize_workload
+from repro.errors import TraceError
+from repro.workloads.registry import (
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+from repro.workloads.synthetic import (
+    KeyValueWorkload,
+    StreamingWorkload,
+    ZipfAccessGenerator,
+    zipf_weights,
+)
+
+
+class TestRegistry:
+    def test_extras_not_in_paper_suite(self):
+        assert "streaming" in EXTRA_WORKLOAD_NAMES
+        assert "keyvalue" in EXTRA_WORKLOAD_NAMES
+        assert not set(EXTRA_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+
+    def test_make_workload_accepts_extras(self):
+        w = make_workload("streaming", 100, jitter_warps=0)
+        assert isinstance(w, StreamingWorkload)
+
+
+class TestStreamingWorkload:
+    def test_zero_reuse(self):
+        w = StreamingWorkload(footprint_pages=200)
+        ch = characterize_workload(w)
+        assert ch.reuse_percent == 0.0
+        assert ch.distinct_pages == 200
+
+    def test_write_fraction(self):
+        all_writes = StreamingWorkload(100, write_fraction=1.0)
+        no_writes = StreamingWorkload(100, write_fraction=0.0)
+        assert all(w.write for w in all_writes)
+        assert not any(w.write for w in no_writes)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            StreamingWorkload(100, write_fraction=1.5)
+
+    def test_no_policy_can_help(self):
+        """Control property: with zero reuse, GMT-Reuse's SSD read count
+        equals BaM's."""
+        from repro.baselines.bam import BamRuntime
+        from repro.core.config import GMTConfig
+        from repro.core.runtime import GMTRuntime
+
+        w = StreamingWorkload(300, write_fraction=0.0)
+        cfg = GMTConfig(
+            tier1_frames=16, tier2_frames=64, sample_target=100, sample_batch=20
+        )
+        bam = BamRuntime(cfg).run(w)
+        gmt = GMTRuntime(cfg).run(w)
+        assert gmt.stats.ssd_page_reads == bam.stats.ssd_page_reads
+
+
+class TestKeyValueWorkload:
+    def test_hot_set_reuse(self):
+        w = KeyValueWorkload(footprint_pages=500, seed=1, compaction_every=500)
+        ch = characterize_workload(w)
+        assert ch.reuse_percent > 50  # compaction touches everything twice+
+        assert ch.distinct_pages == 500
+
+    def test_compaction_cadence(self):
+        w = KeyValueWorkload(footprint_pages=100, lookups=100, compaction_every=50)
+        warps = list(w)
+        # 100 lookups + 2 compactions of 50 warps each.
+        assert len(warps) == 100 + 2 * 50
+
+    def test_deterministic(self):
+        a = KeyValueWorkload(200, seed=5)
+        b = KeyValueWorkload(200, seed=5)
+        assert [w.pages for w in a][:100] == [w.pages for w in b][:100]
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            KeyValueWorkload(100, skew=-1)
+        with pytest.raises(TraceError):
+            KeyValueWorkload(100, compaction_every=0)
+        with pytest.raises(TraceError):
+            KeyValueWorkload(100, lookups=0)
+
+
+class TestZipfGenerator:
+    def test_weights_normalised(self):
+        w = zipf_weights(100, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[-1]
+
+    def test_zero_skew_uniform(self):
+        w = zipf_weights(50, 0.0)
+        assert w[0] == pytest.approx(w[-1])
+
+    def test_higher_skew_fewer_distinct(self):
+        def distinct(skew):
+            gen = ZipfAccessGenerator(1000, num_warps=200, skew=skew, seed=3)
+            return len({p for warp in gen for p in warp.pages})
+
+        assert distinct(1.2) < distinct(0.0)
+
+    def test_write_fraction(self):
+        gen = ZipfAccessGenerator(100, 100, 0.5, write_fraction=1.0, seed=1)
+        assert all(w.write for w in gen)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            ZipfAccessGenerator(100, 0, 0.5)
+        with pytest.raises(TraceError):
+            ZipfAccessGenerator(100, 10, 0.5, lanes=0)
+        with pytest.raises(TraceError):
+            ZipfAccessGenerator(100, 10, 0.5, write_fraction=2.0)
+        with pytest.raises(TraceError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(TraceError):
+            zipf_weights(10, -0.5)

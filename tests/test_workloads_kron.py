@@ -1,0 +1,135 @@
+"""Unit tests for the RMAT generator, CSR builder, and page layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.kron import (
+    CSRGraph,
+    GraphPageMap,
+    build_csr,
+    rmat_csr,
+    rmat_edges,
+)
+
+
+class TestRmatEdges:
+    def test_edge_count(self):
+        edges = rmat_edges(scale=8, edge_factor=4, seed=1)
+        assert edges.shape == (4 * 256, 2)
+
+    def test_endpoints_in_range(self):
+        edges = rmat_edges(scale=8, edge_factor=4, seed=1)
+        assert edges.min() >= 0
+        assert edges.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, seed=9)
+        b = rmat_edges(scale=6, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_graph(self):
+        a = rmat_edges(scale=6, seed=1)
+        b = rmat_edges(scale=6, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_power_law_skew(self):
+        """RMAT with Graph500 parameters has heavy-hitter vertices."""
+        edges = rmat_edges(scale=10, edge_factor=16, seed=0)
+        degrees = np.bincount(edges[:, 0], minlength=1024)
+        top = np.sort(degrees)[::-1]
+        # The top 1% of vertices should hold far more than 1% of edges.
+        assert top[:10].sum() > 0.05 * degrees.sum()
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            rmat_edges(scale=0)
+        with pytest.raises(TraceError):
+            rmat_edges(scale=5, edge_factor=0)
+        with pytest.raises(TraceError):
+            rmat_edges(scale=5, a=0.9, b=0.2, c=0.2)
+
+
+class TestBuildCsr:
+    def test_small_graph(self):
+        edges = np.array([[0, 1], [0, 2], [2, 1], [1, 0]])
+        g = build_csr(edges, num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 4
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert g.neighbors(1).tolist() == [0]
+        assert g.out_degree(2) == 1
+
+    def test_vertex_without_edges(self):
+        g = build_csr(np.array([[0, 1]]), num_vertices=4)
+        assert g.out_degree(3) == 0
+
+    def test_offsets_are_monotonic(self):
+        g = rmat_csr(scale=7, edge_factor=8, seed=3)
+        assert np.all(np.diff(g.offsets) >= 0)
+        assert g.offsets[-1] == g.num_edges
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            build_csr(np.array([[0, 5]]), num_vertices=3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(TraceError):
+            build_csr(np.array([1, 2, 3]), num_vertices=3)
+
+
+class TestGraphPageMap:
+    @pytest.fixture
+    def pages(self):
+        return GraphPageMap(
+            num_vertices=100,
+            num_edges=1000,
+            vertices_per_page=10,
+            edges_per_page=100,
+            num_property_arrays=2,
+        )
+
+    def test_page_counts(self, pages):
+        assert pages.vertex_array_pages == 10
+        assert pages.edge_pages == 10
+        assert pages.total_pages == 30
+
+    def test_vertex_page(self, pages):
+        assert pages.vertex_page(0) == 0
+        assert pages.vertex_page(9) == 0
+        assert pages.vertex_page(10) == 1
+        assert pages.vertex_page(0, array=1) == 10
+
+    def test_edge_page(self, pages):
+        assert pages.edge_page(0) == 20
+        assert pages.edge_page(999) == 29
+
+    def test_array_out_of_range(self, pages):
+        with pytest.raises(TraceError):
+            pages.vertex_page(0, array=2)
+
+    def test_vertex_pages_array(self, pages):
+        result = pages.vertex_pages_array(np.array([0, 5, 10, 95]))
+        assert result.tolist() == [0, 1, 9]
+
+    def test_edge_pages_for_ranges(self, pages):
+        result = pages.edge_pages_for_ranges(
+            np.array([0, 250]), np.array([150, 260])
+        )
+        assert result.tolist() == [20, 21, 22]
+
+    def test_edge_pages_empty_frontier(self, pages):
+        assert len(pages.edge_pages_for_ranges(np.array([]), np.array([]))) == 0
+
+    def test_rounding_up(self):
+        pages = GraphPageMap(
+            num_vertices=101, num_edges=1001, vertices_per_page=10, edges_per_page=100
+        )
+        assert pages.vertex_array_pages == 11
+        assert pages.edge_pages == 11
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            GraphPageMap(10, 10, vertices_per_page=0, edges_per_page=1)
+        with pytest.raises(TraceError):
+            GraphPageMap(10, 10, 1, 1, num_property_arrays=0)
