@@ -27,6 +27,8 @@ class BamRuntime(GMTRuntime):
     discard clean pages, write dirty ones to the SSD).
     """
 
+    obs_extra_labels = {"baseline": "bam"}
+
     def __init__(self, config: GMTConfig) -> None:
         bam_config = replace(config, tier2_frames=0, policy="tier-order")
         super().__init__(bam_config)

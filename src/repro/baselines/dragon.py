@@ -34,6 +34,8 @@ from repro.units import GiB, USEC
 class DragonRuntime(HmmRuntime):
     """CPU-orchestrated 3-tier runtime modelling Dragon's mmap path."""
 
+    obs_extra_labels = {"baseline": "dragon", "mechanism": "mmap"}
+
     #: Per-fault software cost: driver + user-level handler round trip.
     FAULT_OVERHEAD_NS = 100.0 * USEC
     #: Concurrent faults the mmap path sustains.

@@ -41,6 +41,9 @@ from repro.units import SEC
 class HmmRuntime(GMTRuntime):
     """CPU-orchestrated 3-tier runtime modelling HMM-over-UVM."""
 
+    orchestration = "host"
+    obs_extra_labels = {"baseline": "hmm"}
+
     def __init__(self, config: GMTConfig) -> None:
         hmm_config = replace(config, policy="tier-order", transfer_engine="dma")
         super().__init__(hmm_config)

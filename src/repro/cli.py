@@ -71,16 +71,34 @@ def main_sim(argv: list[str] | None = None) -> int:
         choices=sorted(PLATFORM_PRESETS),
         help="hardware preset (default: the paper's Table 1 testbed)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a merged Chrome/Perfetto trace of all runtimes to PATH "
+        "(open via ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus text-format metrics snapshot of all "
+        "runtimes to PATH",
+    )
     args = parser.parse_args(argv)
 
     config = default_config(args.scale, platform=get_platform(args.platform))
     workload = get_workload(
         args.workload, config, oversubscription=args.oversubscription, seed=args.seed
     )
-    results = {
-        RUNTIME_LABELS[kind]: build_runtime(kind, config).run(workload)
-        for kind in args.runtimes
-    }
+    telemetry_on = args.trace_out is not None or args.metrics_out is not None
+    telemetries = []
+    results = {}
+    for kind in args.runtimes:
+        runtime = build_runtime(kind, config)
+        if telemetry_on:
+            telemetries.append(runtime.attach_telemetry())
+        results[RUNTIME_LABELS[kind]] = runtime.run(workload)
     baseline = RUNTIME_LABELS["bam"] if "bam" in args.runtimes else None
     print(
         comparison_table(
@@ -93,6 +111,18 @@ def main_sim(argv: list[str] | None = None) -> int:
             ),
         )
     )
+    if args.trace_out is not None:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(
+            args.trace_out, [(t.name, t.tracer) for t in telemetries]
+        )
+        print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(args.metrics_out, [t.registry for t in telemetries])
+        print(f"wrote Prometheus snapshot to {args.metrics_out}")
     return 0
 
 

@@ -96,6 +96,11 @@ class DuelingPolicy(PlacementPolicy):
         self.score_b = _LeaderScore()
         self._evictions_this_epoch = 0
 
+    def attach_telemetry(self, telemetry) -> None:
+        super().attach_telemetry(telemetry)
+        self.policy_a.attach_telemetry(telemetry)
+        self.policy_b.attach_telemetry(telemetry)
+
     # ------------------------------------------------------------------
     def _set_of(self, page: int) -> str | None:
         bucket = hash(page) % self.MODULUS

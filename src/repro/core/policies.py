@@ -55,10 +55,19 @@ class PlacementPolicy(abc.ABC):
     #: (Reuse, section 2.1.3: "we simply either discard (if clean) or put
     #: it in Tier-3 (if dirty)").
     tier2_evicts_on_full: bool = True
+    #: Optional :class:`~repro.obs.telemetry.Telemetry`; None is the
+    #: null-sink fast path.
+    telemetry = None
 
     def __init__(self, config: GMTConfig, stats: RuntimeStats) -> None:
         self.config = config
         self.stats = stats
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Hook the policy's decision points into ``telemetry`` (pass
+        None to detach).  Subclasses extend this to wire their own
+        pipeline stages (the reuse sampler, the Markov predictor)."""
+        self.telemetry = telemetry
 
     def on_access(self, state: PageState, vtd: int | None) -> None:
         """Observe one coalesced access (before hit/miss is serviced)."""
@@ -164,6 +173,10 @@ class ReusePolicy(PlacementPolicy):
         self._heuristic_enabled = config.tier3_bias_enabled
 
     # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        super().attach_telemetry(telemetry)
+        self.sampler.telemetry = telemetry
+
     def on_access(self, state: PageState, vtd: int | None) -> None:
         self.sampler.observe(state.page, vtd)
 
@@ -186,9 +199,14 @@ class ReusePolicy(PlacementPolicy):
         pending = state.policy_state.pop(self._PENDING, None)
         if pending is not None:
             self.stats.record_prediction_outcome(pending.name, actual.name)
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "markov-resolve", "reuse", page=state.page, actual=actual.name
+            )
 
     def choose(self, state: PageState) -> PlacementPlan:
-        predicted = self.predictor.predict(state.policy_state.get(self._LAST_CORRECT))
+        last_correct = state.policy_state.get(self._LAST_CORRECT)
+        predicted = self.predictor.predict(last_correct)
         if predicted is None:
             # No usable history: proceed with a default strategy as the
             # paper allows during the cold phase ("GMT-Random or
@@ -204,6 +222,10 @@ class ReusePolicy(PlacementPolicy):
 
         self.stats.predictions_made += 1
         self.heuristic.record(predicted)
+        if self.telemetry is not None:
+            self.telemetry.markov_confidence.observe(
+                self.predictor.confidence(last_correct)
+            )
         decision = PlacementDecision.for_class(predicted)
         if (
             self._heuristic_enabled

@@ -118,6 +118,11 @@ class GMTRuntime:
     """
 
     name = "GMT"
+    #: Who services faults — exported as a telemetry label; the
+    #: CPU-orchestrated baselines override this with ``"host"``.
+    orchestration = "gpu"
+    #: Extra constant labels a runtime variant wants on its metrics.
+    obs_extra_labels: dict[str, str] = {}
 
     def __init__(self, config: GMTConfig, policy_factory=None) -> None:
         self.config = config
@@ -165,6 +170,10 @@ class GMTRuntime:
         self._extra_fault_ns = 0.0
         #: Optional event recorder (see :mod:`repro.core.events`).
         self._events: RuntimeEventLog | None = None
+        #: Optional telemetry (see :mod:`repro.obs`).  None is the
+        #: null-sink fast path: each emission point costs one attribute
+        #: check and nothing else.
+        self._obs = None
         #: Queueing time model, built lazily (subclasses adjust the
         #: orchestration parameters it reads after construction).
         self._queueing = None
@@ -212,6 +221,36 @@ class GMTRuntime:
             self._events.emit(kind, page, self.vts.now)
 
     # ------------------------------------------------------------------
+    # telemetry (optional, see repro.obs)
+    # ------------------------------------------------------------------
+    def obs_labels(self) -> dict[str, str]:
+        """Constant labels describing this runtime for exported metrics."""
+        labels = {
+            "runtime": self.name,
+            "policy": self.policy.name,
+            "orchestration": self.orchestration,
+            "tiers": "3" if self.tier2.capacity > 0 else "2",
+        }
+        labels.update(self.obs_extra_labels)
+        return labels
+
+    def attach_telemetry(self, telemetry=None):
+        """Wire a :class:`~repro.obs.telemetry.Telemetry` (a fresh one if
+        None) into the runtime's emission points; returns it."""
+        if telemetry is None:
+            from repro.obs.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self._obs = telemetry.attach(self)
+        return telemetry
+
+    def detach_telemetry(self) -> None:
+        """Return to the null-sink fast path (telemetry keeps its data)."""
+        if self._obs is not None:
+            self._obs.detach()
+            self._obs = None
+
+    # ------------------------------------------------------------------
     # access path
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[WarpAccess]) -> RunResult:
@@ -236,6 +275,9 @@ class GMTRuntime:
         self.cost.add_compute(platform.gpu_access_ns)
 
         queueing = self._queueing_model()
+        obs = self._obs
+        if obs is not None:
+            obs.tick(self.stats.coalesced_accesses)
 
         if state.location is PageLocation.TIER1:
             if queueing is not None:
@@ -267,6 +309,9 @@ class GMTRuntime:
                 from_tier2 = True
             else:
                 self.stats.t2_wasteful_lookups += 1
+            if obs is not None:
+                obs.span("t2-lookup", "tier2", platform.tier2_lookup_ns,
+                         page=page, hit=from_tier2)
 
         if from_tier2:
             self._emit(EventKind.T2_HIT, page)
@@ -276,6 +321,9 @@ class GMTRuntime:
             self._t2_order.remove(page)
             self.pcie.record_h2d(self.config.page_size)
             fault_ns += platform.host_fetch_latency_ns + self._t2_move_ns
+            if obs is not None:
+                obs.span("t2-fetch", "tier2",
+                         platform.host_fetch_latency_ns + self._t2_move_ns, page=page)
         else:
             # Up-path bypasses Tier-2: SSD -> GPU memory directly.
             self._emit(EventKind.SSD_READ, page)
@@ -283,6 +331,8 @@ class GMTRuntime:
             self.stats.ssd_page_reads += 1
             state.dirty = False  # fresh copy of the SSD contents
             fault_ns += platform.ssd_read_latency_ns
+            if obs is not None:
+                obs.span("ssd-read", "ssd", platform.ssd_read_latency_ns, page=page)
 
         self._fx_writeback = False
         self._fx_t2_place = False
@@ -320,6 +370,8 @@ class GMTRuntime:
             state.dirty = True
         self.policy.on_tier1_fill(state, from_tier2=from_tier2)
         self.cost.add_fault_latency(fault_ns)
+        if obs is not None:
+            obs.on_miss(page, fault_ns, "tier2" if from_tier2 else "ssd")
 
         if self.config.prefetch_degree and not from_tier2:
             self._prefetch_after(page)
@@ -341,6 +393,8 @@ class GMTRuntime:
                 continue
             self.stats.prefetches_issued += 1
             self._emit(EventKind.PREFETCH, candidate)
+            if self._obs is not None:
+                self._obs.instant("prefetch", "ssd", page=candidate)
             self.ssd.record_read(self.config.page_size)
             self.stats.ssd_page_reads += 1
             queueing = self._queueing_model()
@@ -394,8 +448,14 @@ class GMTRuntime:
 
         if plan.decision is PlacementDecision.PLACE_TIER2 and self.tier2.capacity > 0:
             allow_eviction = self.policy.tier2_evicts_on_full and not plan.forced_tier2
-            return self._place_in_tier2(vstate, allow_eviction)
-        return self._bypass_to_tier3(vstate)
+            ns = self._place_in_tier2(vstate, allow_eviction)
+        else:
+            ns = self._bypass_to_tier3(vstate)
+        obs = self._obs
+        if obs is not None:
+            obs.span("evict", "evict", ns, victim=victim,
+                     decision=plan.decision.name, retries=retries)
+        return ns
 
     def _place_in_tier2(self, state: PageState, allow_eviction: bool = True) -> float:
         """Move an evicted Tier-1 page into host memory.
@@ -420,6 +480,9 @@ class GMTRuntime:
         self.stats.t2_placements += 1
         self.pcie.record_d2h(self.config.page_size)
         ns += self._t2_move_ns
+        obs = self._obs
+        if obs is not None:
+            obs.span("place-t2", "tier2", self._t2_move_ns, page=state.page)
         return ns
 
     def _evict_from_tier2(self) -> float:
@@ -431,6 +494,10 @@ class GMTRuntime:
         vstate = self.page_table.lookup(victim)
         vstate.location = PageLocation.TIER3
         self.stats.t2_evictions += 1
+        obs = self._obs
+        if obs is not None:
+            obs.span("t2-evict", "tier2",
+                     self.config.platform.tier2_eviction_ns, page=victim)
         # Running the Tier-2 replacement mechanism is itself GPU work over
         # host-resident metadata (section 2.1.1's third drawback).
         return (
@@ -455,6 +522,10 @@ class GMTRuntime:
         self.ssd.record_write(self.config.page_size)
         self.stats.ssd_page_writes += 1
         state.writeback()
+        obs = self._obs
+        if obs is not None:
+            obs.span("writeback", "ssd",
+                     self.config.platform.ssd_write_latency_ns, page=state.page)
         return self.config.platform.ssd_write_latency_ns
 
     # ------------------------------------------------------------------

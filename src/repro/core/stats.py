@@ -7,16 +7,50 @@ map to the paper's figures as follows:
 - Figure 9: ``resolved_predictions``/``correct_predictions`` (accuracy);
 - Figure 10(a): ``t2_wasteful_lookups`` over ``t1_misses``;
 - Figure 10(b): ``t2_placements`` and ``t2_fetches`` over BaM transfers.
-"""
+
+The export surface is built on :mod:`repro.obs`: every scalar field is a
+counter, every declared rate property a gauge.  :meth:`as_dict` and
+:meth:`bind_registry` are both *derived* from the dataclass fields plus
+:data:`EXPORTED_PROPERTIES`, so adding a counter cannot silently fall out
+of reports again (tests assert the parity).  Storage stays plain ``int``
+fields — the hot path's ``stats.t1_hits += 1`` is untouched, and the
+registry reads the fields only at export time (pull model)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
 class RuntimeStats:
     """Counters accumulated by a runtime over one trace replay."""
+
+    # Unannotated class constants — invisible to @dataclass.
+    #: Fields excluded from the scalar export (non-scalar structures).
+    NON_SCALAR_FIELDS = frozenset({"confusion"})
+    #: Rate/derived properties included in every export, with the fields.
+    EXPORTED_PROPERTIES = (
+        "t1_hit_rate",
+        "t2_hit_rate",
+        "wasteful_lookup_fraction",
+        "prediction_accuracy",
+        "ssd_page_ios",
+        "prefetch_accuracy",
+    )
+    #: Help strings for the figure-critical metrics (others export bare).
+    METRIC_HELP = {
+        "t1_hits": "Coalesced accesses served from GPU memory",
+        "t1_misses": "Coalesced accesses that faulted out of Tier-1",
+        "t2_hits": "Tier-2 lookups that found the page (useful lookups)",
+        "t2_lookups": "Tier-2 page-table probes on the miss path",
+        "t2_wasteful_lookups": "Tier-2 probes that fell through to the SSD (Fig. 10a)",
+        "ssd_page_reads": "NVMe page reads (Fig. 8b traffic)",
+        "ssd_page_writes": "NVMe page writes (Fig. 8b traffic)",
+        "t1_hit_rate": "Fraction of coalesced accesses served from GPU memory",
+        "t2_hit_rate": "Fraction of Tier-2 lookups that found the page",
+        "prediction_accuracy": "Resolved Markov predictions naming the correct tier (Fig. 9)",
+        "ssd_page_ios": "Total NVMe page commands (reads + writes)",
+    }
 
     # --- access stream ----------------------------------------------------
     warp_instructions: int = 0
@@ -106,33 +140,43 @@ class RuntimeStats:
         """Total SSD traffic in bytes (Figure 8(b)'s metric)."""
         return self.ssd_page_ios * page_size
 
+    # ------------------------------------------------------------------
+    # export surface (derived — counters cannot silently drop out)
+    # ------------------------------------------------------------------
+    @classmethod
+    def counter_names(cls) -> tuple[str, ...]:
+        """Every scalar counter field, in declaration order."""
+        return tuple(
+            f.name for f in fields(cls) if f.name not in cls.NON_SCALAR_FIELDS
+        )
+
     def as_dict(self) -> dict[str, float]:
-        """Flat scalar snapshot for reports and experiment tables."""
-        return {
-            "warp_instructions": self.warp_instructions,
-            "coalesced_accesses": self.coalesced_accesses,
-            "t1_hits": self.t1_hits,
-            "t1_misses": self.t1_misses,
-            "t1_hit_rate": self.t1_hit_rate,
-            "t1_evictions": self.t1_evictions,
-            "clock_retentions": self.clock_retentions,
-            "t2_lookups": self.t2_lookups,
-            "t2_hits": self.t2_hits,
-            "t2_hit_rate": self.t2_hit_rate,
-            "t2_wasteful_lookups": self.t2_wasteful_lookups,
-            "wasteful_lookup_fraction": self.wasteful_lookup_fraction,
-            "t2_placements": self.t2_placements,
-            "t2_fetches": self.t2_fetches,
-            "t2_evictions": self.t2_evictions,
-            "t2_full_bypasses": self.t2_full_bypasses,
-            "forced_t2_placements": self.forced_t2_placements,
-            "ssd_page_reads": self.ssd_page_reads,
-            "ssd_page_writes": self.ssd_page_writes,
-            "clean_discards": self.clean_discards,
-            "prefetches_issued": self.prefetches_issued,
-            "prefetch_hits": self.prefetch_hits,
-            "prefetch_wasted": self.prefetch_wasted,
-            "predictions_made": self.predictions_made,
-            "fallback_placements": self.fallback_placements,
-            "prediction_accuracy": self.prediction_accuracy,
-        }
+        """Flat scalar snapshot for reports and experiment tables: every
+        counter field plus every declared rate property."""
+        out: dict[str, float] = {name: getattr(self, name) for name in self.counter_names()}
+        for name in self.EXPORTED_PROPERTIES:
+            out[name] = getattr(self, name)
+        return out
+
+    def bind_registry(self, registry, prefix: str = "gmt_"):
+        """Register every counter field and rate property in ``registry``.
+
+        Counters are *bound* (the registry reads this object's fields at
+        export time — the hot-path increments stay plain attribute
+        writes); properties become callback gauges.  Returns ``registry``
+        (a new :class:`~repro.obs.metrics.MetricsRegistry` when None).
+        """
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        for name in self.counter_names():
+            registry.bind_counter(prefix + name, self, name,
+                                  help=self.METRIC_HELP.get(name, ""))
+        for name in self.EXPORTED_PROPERTIES:
+            registry.gauge(
+                prefix + name,
+                help=self.METRIC_HELP.get(name, ""),
+                fn=lambda s=self, n=name: getattr(s, n),
+            )
+        return registry

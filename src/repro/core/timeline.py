@@ -71,13 +71,25 @@ _TRACKED = (
 
 
 class StatsTimeline:
-    """Snapshots a runtime's counters every ``window`` coalesced accesses."""
+    """Snapshots a runtime's counters every ``window`` coalesced accesses.
 
-    def __init__(self, runtime: GMTRuntime, window: int = 10_000) -> None:
+    Args:
+        runtime: the runtime whose counters to window.
+        window: snapshot cadence in coalesced accesses.
+        telemetry: optional :class:`~repro.obs.telemetry.Telemetry` —
+            every timeline boundary also forces a delta window of the
+            telemetry's full metrics registry at the same position, so
+            the hand-picked :class:`StatsWindow` stream and the registry
+            window stream (``telemetry.windows()``) share boundaries and
+            can be joined on ``position``.
+    """
+
+    def __init__(self, runtime: GMTRuntime, window: int = 10_000, telemetry=None) -> None:
         if window < 1:
             raise ConfigError(f"window must be >= 1, got {window}")
         self.runtime = runtime
         self.window = window
+        self.telemetry = telemetry
         self._windows: list[StatsWindow] = []
         self._last = self._capture()
         self._last_accesses = runtime.stats.coalesced_accesses
@@ -106,6 +118,8 @@ class StatsTimeline:
         self._windows.append(window)
         self._last = now
         self._last_accesses = accesses
+        if self.telemetry is not None:
+            self.telemetry.snapshotter.snapshot(accesses)
         return window
 
     def windows(self) -> list[StatsWindow]:

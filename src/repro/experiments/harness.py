@@ -35,6 +35,48 @@ RUNTIME_LABELS = {
 _workload_cache: dict[tuple, Workload] = {}
 _run_cache: dict[tuple, RunResult] = {}
 
+#: When set (see :func:`set_telemetry_dir`), every *uncached* replay runs
+#: with telemetry attached and exports its trace/metrics files here.
+_telemetry_dir: str | None = None
+
+
+def set_telemetry_dir(path: str | None) -> None:
+    """Enable per-replay telemetry export under ``path`` (None disables).
+
+    Each uncached replay writes ``<app>-<kind>.trace.json`` (Perfetto),
+    ``<app>-<kind>.prom`` (Prometheus text) and, when windows were cut,
+    ``<app>-<kind>.windows.jsonl`` into the directory.  Cached replays
+    are reused as-is and produce no new files, so enable this *before*
+    the first figure touches the geometry of interest (or call
+    :func:`clear_caches` first).
+    """
+    global _telemetry_dir
+    _telemetry_dir = path
+
+
+def _attach_run_telemetry(runtime: GMTRuntime, app: str, kind: str):
+    if _telemetry_dir is None:
+        return None
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry(labels={"app": normalize_name(app), "kind": kind})
+    runtime.attach_telemetry(telemetry)
+    return telemetry
+
+
+def _export_run_telemetry(telemetry, app: str, kind: str) -> None:
+    import os
+
+    from repro.obs.export import write_chrome_trace, write_jsonl, write_prometheus
+
+    os.makedirs(_telemetry_dir, exist_ok=True)
+    stem = os.path.join(_telemetry_dir, f"{normalize_name(app)}-{kind}")
+    write_chrome_trace(f"{stem}.trace.json", {telemetry.name: telemetry.tracer})
+    write_prometheus(f"{stem}.prom", telemetry.registry)
+    windows = telemetry.windows()
+    if windows:
+        write_jsonl(f"{stem}.windows.jsonl", windows)
+
 
 @dataclass
 class ExperimentResult:
@@ -148,7 +190,10 @@ def run_app(
     if result is None:
         workload = get_workload(app, config, oversubscription, seed=seed)
         runtime = build_runtime(kind, config)
+        telemetry = _attach_run_telemetry(runtime, app, kind)
         result = runtime.run(workload)
+        if telemetry is not None:
+            _export_run_telemetry(telemetry, app, kind)
         _run_cache[key] = result
     return result
 

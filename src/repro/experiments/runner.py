@@ -58,7 +58,19 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_SCALE,
         help=f"byte-scale divisor vs the paper's platform (default {DEFAULT_SCALE})",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="export per-replay telemetry (Perfetto trace, Prometheus "
+        "snapshot, window stream) for every uncached run into DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry_dir is not None:
+        from repro.experiments.harness import set_telemetry_dir
+
+        set_telemetry_dir(args.telemetry_dir)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:

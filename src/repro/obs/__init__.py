@@ -1,0 +1,53 @@
+"""repro.obs — the GMT runtime's unified telemetry subsystem.
+
+Three pillars (see docs/observability.md for the catalog and formats):
+
+- :mod:`repro.obs.metrics` — typed counters, gauges and log-scale
+  histograms in a :class:`MetricsRegistry`;
+- :mod:`repro.obs.tracing` — :class:`SpanTracer` over the simulator's
+  virtual clock, exportable as Chrome/Perfetto trace-event JSON;
+- :mod:`repro.obs.export` / :mod:`repro.obs.snapshots` — Prometheus
+  text, trace JSON and JSONL window streams.
+
+:class:`Telemetry` bundles all three for one runtime; attach with
+``runtime.attach_telemetry()``.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    BoundCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    linear_buckets,
+    log_buckets,
+)
+from repro.obs.snapshots import WindowedSnapshotter
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "BoundCounter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "WindowedSnapshotter",
+    "chrome_trace_events",
+    "linear_buckets",
+    "log_buckets",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,313 @@
+"""Typed metrics registry — the numeric pillar of :mod:`repro.obs`.
+
+Three instrument kinds, modelled after Prometheus:
+
+- :class:`Counter` — a monotonically increasing count (Tier-1 hits, SSD
+  page reads).  :class:`BoundCounter` is a zero-overhead variant whose
+  storage *is* an attribute of a host object (a
+  :class:`~repro.core.stats.RuntimeStats` field): the hot path keeps its
+  plain ``stats.t1_hits += 1`` increment and the registry reads the field
+  only at export time.  This is what "RuntimeStats re-implemented on top
+  of the registry" means here — the registry owns metric identity,
+  metadata and export; the dataclass remains the storage.
+- :class:`Gauge` — a value that can go up and down (Tier-2 occupancy,
+  NVMe queue depth).  Supports callback mode for pull-at-export values
+  (derived rates such as ``t1_hit_rate``).
+- :class:`Histogram` — a distribution over log-scale (or explicit)
+  buckets: per-tier access latency, reuse distances, PCIe/NVMe transfer
+  sizes, Markov prediction confidence.  Log-scale buckets keep the
+  bucket count small across the many orders of magnitude a tiered
+  hierarchy spans (50 ns Tier-2 lookups to 100 us SSD reads).
+
+A :class:`MetricsRegistry` names and holds the instruments of one run
+(one runtime).  Registries carry constant labels (``runtime="GMT-Reuse"``)
+so several runs can be merged into one exported snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+from repro.errors import ConfigError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigError(f"invalid metric name {name!r} (want [a-zA-Z_:][a-zA-Z0-9_:]*)")
+    return name
+
+
+class Metric:
+    """Common identity of every instrument: name, help text, unit."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.unit = unit
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", unit: str = "") -> None:
+        super().__init__(name, help, unit)
+        self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease (inc {amount})")
+        self._value += amount
+
+
+class BoundCounter(Counter):
+    """A counter whose storage is ``getattr(host, attr)``.
+
+    The host object (typically a stats dataclass) keeps incrementing its
+    plain attribute; the registry observes it lazily.  ``inc`` is
+    intentionally unsupported — writes stay on the host's hot path.
+    """
+
+    def __init__(self, name: str, host: object, attr: str, help: str = "", unit: str = "") -> None:
+        super().__init__(name, help, unit)
+        if not hasattr(host, attr):
+            raise ConfigError(f"cannot bind {name}: host has no attribute {attr!r}")
+        self._host = host
+        self._attr = attr
+
+    @property
+    def value(self) -> int | float:
+        return getattr(self._host, self._attr)
+
+    def inc(self, amount: int | float = 1) -> None:
+        raise ConfigError(
+            f"bound counter {self.name} is read-only; increment the host attribute"
+        )
+
+
+class Gauge(Metric):
+    """A value that can go up and down; optionally callback-backed."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        super().__init__(name, help, unit)
+        self._value = 0.0
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ConfigError(f"gauge {self.name} is callback-backed; cannot set")
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+def log_buckets(start: float, factor: float, count: int) -> list[float]:
+    """Geometric bucket upper bounds: ``start * factor**i`` for i in 0..count-1."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ConfigError(
+            f"log_buckets needs start>0, factor>1, count>=1 "
+            f"(got {start}, {factor}, {count})"
+        )
+    return [start * factor**i for i in range(count)]
+
+
+def linear_buckets(start: float, width: float, count: int) -> list[float]:
+    """Evenly spaced bucket upper bounds (for bounded metrics like [0, 1])."""
+    if width <= 0 or count < 1:
+        raise ConfigError(f"linear_buckets needs width>0, count>=1 (got {width}, {count})")
+    return [start + width * i for i in range(count)]
+
+
+class Histogram(Metric):
+    """Bucketed distribution with count/sum/min/max.
+
+    Default buckets are log-scale (powers of ``2`` from ``1``), sized for
+    the dimensionless and byte/ns-scaled quantities the simulator emits.
+    Observations beyond the last bound land in the implicit +Inf bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, unit)
+        bounds = list(buckets) if buckets is not None else log_buckets(1.0, 2.0, 40)
+        if not bounds or sorted(bounds) != bounds:
+            raise ConfigError(f"histogram {name}: bucket bounds must be sorted and non-empty")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest observation (``-inf`` when empty)."""
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style,
+        ending with ``(inf, total)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self._count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile (0 when
+        empty).  Coarse by construction — log-scale buckets trade accuracy
+        for always-on cheapness."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            if running >= target:
+                return bound
+        return self._max
+
+
+class MetricsRegistry:
+    """Named collection of instruments with constant labels.
+
+    Args:
+        const_labels: labels attached to every sample at export time
+            (``{"runtime": "GMT-Reuse"}``); the Prometheus exporter renders
+            them, the flat snapshot ignores them.
+    """
+
+    def __init__(self, const_labels: dict[str, str] | None = None) -> None:
+        self.const_labels: dict[str, str] = dict(const_labels or {})
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ConfigError(
+                    f"metric {metric.name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self.register(Counter(name, help, unit))  # type: ignore[return-value]
+
+    def bind_counter(
+        self, name: str, host: object, attr: str, help: str = "", unit: str = ""
+    ) -> BoundCounter:
+        return self.register(BoundCounter(name, host, attr, help, unit))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", unit: str = "", fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        return self.register(Gauge(name, help, unit, fn))  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", unit: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        return self.register(Histogram(name, help, unit, buckets))  # type: ignore[return-value]
+
+    # -- access ---------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigError(f"unknown metric {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat scalar view: counters/gauges by name; histograms expand to
+        ``name_count``/``name_sum``/``name_p50``/``name_p99``."""
+        out: dict[str, float] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[f"{metric.name}_count"] = metric.count
+                out[f"{metric.name}_sum"] = metric.sum
+                out[f"{metric.name}_p50"] = metric.quantile(0.50)
+                out[f"{metric.name}_p99"] = metric.quantile(0.99)
+            else:
+                out[metric.name] = metric.value  # type: ignore[union-attr]
+        return out

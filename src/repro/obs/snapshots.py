@@ -1,0 +1,87 @@
+"""Windowed registry snapshots — the always-on sibling of StatsTimeline.
+
+:class:`~repro.core.timeline.StatsTimeline` snapshots a fixed, hand-picked
+subset of :class:`~repro.core.stats.RuntimeStats` counters.  Once those
+counters are registered in a :class:`~repro.obs.metrics.MetricsRegistry`
+(see ``RuntimeStats.bind_registry``), the same delta-window mechanism can
+cover *every* registered metric without a hand-maintained list — that is
+what :class:`WindowedSnapshotter` does.  Both produce deltas over windows
+of the same position axis (coalesced accesses), so their windows line up
+and a timeline-driven run can feed registry windows for free (see
+``StatsTimeline(..., telemetry=...)``).
+
+Counters report the delta accrued inside the window; gauges report their
+instantaneous value at the window boundary; histograms report count/sum
+deltas.  Each window is a flat JSON-ready dict, so a stream of windows
+exports directly via :func:`repro.obs.export.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class WindowedSnapshotter:
+    """Delta snapshots of a registry every ``interval`` position units."""
+
+    def __init__(self, registry: MetricsRegistry, interval: int = 10_000) -> None:
+        if interval < 1:
+            raise ConfigError(f"interval must be >= 1, got {interval}")
+        self.registry = registry
+        self.interval = interval
+        self._windows: list[dict] = []
+        self._last_position = 0
+        self._last = self._capture()
+
+    def _capture(self) -> dict[str, float]:
+        counts: dict[str, float] = {}
+        for metric in self.registry:
+            if isinstance(metric, Histogram):
+                counts[f"{metric.name}_count"] = metric.count
+                counts[f"{metric.name}_sum"] = metric.sum
+            elif isinstance(metric, Counter):
+                counts[metric.name] = metric.value
+        return counts
+
+    def rebaseline(self, position: int = 0) -> None:
+        """Reset the delta baseline to the registry's current values
+        (called after attach-time metric registration)."""
+        self._last = self._capture()
+        self._last_position = position
+
+    def maybe_snapshot(self, position: int) -> dict | None:
+        """Snapshot if ``position`` advanced a full interval past the last
+        boundary; returns the new window dict (or None)."""
+        if position - self._last_position < self.interval:
+            return None
+        return self.snapshot(position)
+
+    def snapshot(self, position: int) -> dict:
+        """Force a window boundary at ``position``."""
+        now = self._capture()
+        window: dict = {
+            "window": len(self._windows),
+            "position": position,
+            "span": position - self._last_position,
+        }
+        # Metrics may register after construction (attach-time bindings);
+        # a missing baseline reads as zero.
+        for name, value in now.items():
+            window[name] = value - self._last.get(name, 0)
+        for metric in self.registry:
+            if isinstance(metric, Gauge):
+                window[metric.name] = metric.value
+        self._windows.append(window)
+        self._last = now
+        self._last_position = position
+        return window
+
+    def windows(self) -> list[dict]:
+        return list(self._windows)
+
+    def series(self, name: str) -> list[float]:
+        """One window field across all windows."""
+        if self._windows and name not in self._windows[0]:
+            raise ConfigError(f"unknown window field {name!r}")
+        return [w[name] for w in self._windows]

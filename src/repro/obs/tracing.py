@@ -1,0 +1,125 @@
+"""Span tracing over the simulator's virtual clock.
+
+A :class:`Span` is one timed pipeline step — a demand miss, a Tier-2
+lookup, an eviction, a writeback, a reuse-pipeline stage — stamped on the
+runtime's *simulated* time axis (accumulated modelled nanoseconds), not
+wall time.  The resulting timeline is the one Figure 2 draws: what the
+hierarchy was doing, when, for how long.
+
+Spans are recorded by a :class:`SpanTracer`, which is bounded (drop-oldest)
+so always-on tracing cannot exhaust memory on million-access runs.  The
+*null-sink fast path* lives at the emission points, not here: a runtime
+without telemetry holds ``self._obs = None`` and each instrumented site
+costs exactly one attribute check (see :mod:`repro.core.runtime`).
+
+Track sequencing: Chrome trace viewers render same-thread complete events
+as a stack, which looks wrong for a simulator whose virtual clock advances
+in coarse steps (several sub-spans of one miss share a timestamp).  The
+tracer therefore keeps a per-track cursor and nudges each span's start to
+the end of its track's previous span, so every named track renders as a
+clean sequential lane in Perfetto.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced pipeline step on the virtual-time axis (ns)."""
+
+    name: str
+    cat: str
+    ts_ns: float
+    dur_ns: float | None = None  # None = instant event
+    args: dict = field(default_factory=dict)
+
+    @property
+    def instant(self) -> bool:
+        return self.dur_ns is None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dur = "instant" if self.dur_ns is None else f"{self.dur_ns:.0f} ns"
+        return f"[{self.ts_ns:>12.0f}] {self.cat}/{self.name} ({dur})"
+
+
+class SpanTracer:
+    """Bounded recorder of :class:`Span`.
+
+    Args:
+        capacity: keep only the most recent N spans (None = unbounded;
+            fine for tests and short runs, unwise for production replays).
+    """
+
+    def __init__(self, capacity: int | None = 100_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None: {capacity}")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._emitted = 0
+        self._cursors: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    @property
+    def emitted(self) -> int:
+        """Total spans ever recorded (including since-dropped ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to the capacity bound."""
+        return self._emitted - len(self._spans)
+
+    def record(self, name: str, cat: str, ts_ns: float, dur_ns: float | None = None, **args) -> Span:
+        """Record one span; returns it (with its track-sequenced start)."""
+        cursor = self._cursors.get(name, 0.0)
+        if ts_ns < cursor:
+            ts_ns = cursor
+        if dur_ns is not None:
+            self._cursors[name] = ts_ns + dur_ns
+        span = Span(name=name, cat=cat, ts_ns=ts_ns, dur_ns=dur_ns, args=args)
+        self._spans.append(span)
+        self._emitted += 1
+        return span
+
+    def instant(self, name: str, cat: str, ts_ns: float, **args) -> Span:
+        """Record a zero-duration marker event."""
+        return self.record(name, cat, ts_ns, None, **args)
+
+    def spans(self, cat: str | None = None, name: str | None = None) -> list[Span]:
+        """Filtered snapshot (both filters optional)."""
+        return [
+            s
+            for s in self._spans
+            if (cat is None or s.cat == cat) and (name is None or s.name == name)
+        ]
+
+    def by_name(self) -> dict[str, tuple[int, float]]:
+        """Aggregate ``{name: (count, total_dur_ns)}`` over retained spans."""
+        agg: dict[str, tuple[int, float]] = {}
+        for span in self._spans:
+            count, total = agg.get(span.name, (0, 0.0))
+            agg[span.name] = (count + 1, total + (span.dur_ns or 0.0))
+        return agg
+
+    def hottest(self, n: int = 5) -> list[tuple[str, int, float]]:
+        """Top ``n`` span names by total duration: ``(name, count, total_ns)``."""
+        agg = self.by_name()
+        ranked = sorted(
+            ((name, count, total) for name, (count, total) in agg.items()),
+            key=lambda item: item[2],
+            reverse=True,
+        )
+        return ranked[:n]
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._cursors.clear()
+        self._emitted = 0

@@ -77,6 +77,19 @@ class MarkovTierPredictor:
                 best_weight = row[state]
         return best
 
+    def confidence(self, last_correct: ReuseClass | None) -> float:
+        """Weight share of the winning transition out of ``last_correct``'s
+        state — how lopsided the row behind a prediction is (1.0 = the
+        history always went one way; ~1/3 = a coin toss across tiers).
+        Exported to the telemetry confidence histogram."""
+        if last_correct is None:
+            return 0.0
+        row = self._weights[last_correct]
+        total = sum(row.values())
+        if total == 0:
+            return 0.0
+        return max(row.values()) / total
+
     def snapshot(self) -> dict[str, dict[str, int]]:
         """Readable copy of the weight matrix (for reports/debugging)."""
         return {
@@ -109,6 +122,10 @@ class LastTierPredictor:
 
     def predict(self, last_correct: ReuseClass | None) -> ReuseClass | None:
         return last_correct
+
+    def confidence(self, last_correct: ReuseClass | None) -> float:
+        """Last-tier repeats are asserted with full confidence."""
+        return 0.0 if last_correct is None else 1.0
 
     def snapshot(self) -> dict[str, dict[str, int]]:
         """No weights to report; kept for interface parity."""

@@ -31,6 +31,10 @@ class VTDSampler:
         batch_size: flush cadence to the regression (paper: 10 000).
     """
 
+    #: Optional :class:`~repro.obs.telemetry.Telemetry` — feeds the
+    #: reuse-distance histogram and flush markers; None costs one check.
+    telemetry = None
+
     def __init__(self, sample_target: int = 100_000, batch_size: int = 10_000) -> None:
         if sample_target <= 0:
             raise ValueError(f"sample_target must be positive, got {sample_target}")
@@ -73,6 +77,8 @@ class VTDSampler:
             return
         self._queue.append((vtd, rd))
         self._collected += 1
+        if self.telemetry is not None:
+            self.telemetry.reuse_distance.observe(rd)
         if len(self._queue) >= self.batch_size or self.sampling_done:
             self._flush()
 
@@ -80,12 +86,19 @@ class VTDSampler:
         """Hand the queued samples to the "CPU thread" (OLS update)."""
         if not self._queue:
             return
+        batch = len(self._queue)
         vtds = [float(v) for v, _ in self._queue]
         rds = [float(r) for _, r in self._queue]
         self._ols.update(vtds, rds)
         self._queue.clear()
         if self._ols.ready:
             self._model = self._ols.model()
+        if self.telemetry is not None:
+            args = {"samples": batch, "collected": self._collected}
+            if self._model is not None:
+                args["slope"] = self._model.m
+                args["intercept"] = self._model.b
+            self.telemetry.instant("sampler-flush", "reuse", **args)
 
     def predict_rrd(self, rvtd: int) -> float | None:
         """Project a remaining VTD to a remaining reuse distance (Eq. 3).

@@ -50,6 +50,9 @@ class NvmeSSD:
         self.writes = 0
         self.read_bytes = 0
         self.write_bytes = 0
+        #: Optional per-command hook ``observer(num_bytes, write)`` for
+        #: telemetry; None is the null-sink fast path.
+        self.observer = None
 
     @property
     def total_bytes(self) -> int:
@@ -64,12 +67,16 @@ class NvmeSSD:
         self._check(num_bytes)
         self.reads += 1
         self.read_bytes += num_bytes
+        if self.observer is not None:
+            self.observer(num_bytes, False)
 
     def record_write(self, num_bytes: int) -> None:
         """Account one write command of ``num_bytes``."""
         self._check(num_bytes)
         self.writes += 1
         self.write_bytes += num_bytes
+        if self.observer is not None:
+            self.observer(num_bytes, True)
 
     def batch_time_ns(self, commands: int, bytes_per_command: int, write: bool = False) -> float:
         """Completion time of ``commands`` concurrent same-size commands.

@@ -28,6 +28,9 @@ class PCIeLink:
         self.d2h_bytes = 0
         self.h2d_transfers = 0
         self.d2h_transfers = 0
+        #: Optional per-transfer size hook (telemetry histogram); None is
+        #: the null-sink fast path — one attribute check per transfer.
+        self.observer = None
 
     @property
     def total_bytes(self) -> int:
@@ -42,12 +45,16 @@ class PCIeLink:
         self._check(num_bytes)
         self.h2d_bytes += num_bytes
         self.h2d_transfers += 1
+        if self.observer is not None:
+            self.observer(num_bytes)
 
     def record_d2h(self, num_bytes: int) -> None:
         """Account a GPU->host transfer (Tier-1 -> Tier-2 placement)."""
         self._check(num_bytes)
         self.d2h_bytes += num_bytes
         self.d2h_transfers += 1
+        if self.observer is not None:
+            self.observer(num_bytes)
 
     def wire_time_ns(self, num_bytes: int) -> float:
         """Pure serialization time of ``num_bytes`` on the link."""

@@ -37,6 +37,9 @@ class TransferEngine(abc.ABC):
     """Prices the movement of a batch of non-contiguous 64 KB pages."""
 
     name: str = "abstract"
+    #: Optional batch hook ``observer(num_pages, mechanism)`` feeding the
+    #: telemetry batch-size histogram; None is the null-sink fast path.
+    observer = None
 
     @abc.abstractmethod
     def transfer_time_ns(
@@ -86,6 +89,8 @@ class DmaEngine(TransferEngine):
         self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
     ) -> float:
         self._validate(num_pages, available_threads)
+        if self.observer is not None:
+            self.observer(num_pages, "dma")
         per_page = self.call_overhead_ns + page_size / self.bandwidth * SEC
         return num_pages * per_page
 
@@ -118,6 +123,8 @@ class ZeroCopyEngine(TransferEngine):
         self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
     ) -> float:
         self._validate(num_pages, available_threads)
+        if self.observer is not None:
+            self.observer(num_pages, "zero-copy")
         if num_pages == 0:
             return 0.0
         wire = num_pages * page_size / self.copy_bandwidth(available_threads) * SEC
@@ -160,7 +167,10 @@ class HybridEngine(TransferEngine):
     def transfer_time_ns(
         self, num_pages: int, available_threads: int = WARP_SIZE, page_size: int = PAGE_SIZE
     ) -> float:
-        if self.mechanism(num_pages, available_threads) == "zero-copy":
+        mechanism = self.mechanism(num_pages, available_threads)
+        if self.observer is not None:
+            self.observer(num_pages, mechanism)
+        if mechanism == "zero-copy":
             return self.zero_copy.transfer_time_ns(num_pages, available_threads, page_size)
         return self.dma.transfer_time_ns(num_pages, available_threads, page_size)
 

@@ -40,6 +40,18 @@ class TestRuntimeEventLog:
         assert len(log.events(page=1)) == 2
         assert len(log.events(kind=EventKind.MISS, page=2)) == 1
 
+    def test_summary_after_wraparound_counts_retained_only(self):
+        """After the capacity bound drops old events, summary() reflects
+        the retained window, not lifetime totals."""
+        log = RuntimeEventLog(capacity=3)
+        for _ in range(4):
+            log.emit(EventKind.MISS, 1, 0)
+        log.emit(EventKind.T1_HIT, 1, 0)
+        summary = log.summary()
+        assert summary["miss"] == 2  # two of the four misses survived
+        assert summary["t1-hit"] == 1
+        assert sum(summary.values()) == 3
+
     def test_clear(self):
         log = RuntimeEventLog()
         log.emit(EventKind.MISS, 1, 1)

@@ -47,6 +47,37 @@ class TestRuntimeStats:
         assert d["ssd_page_reads"] == 3
         assert "prediction_accuracy" in d
 
+    def test_as_dict_covers_every_field_and_property(self):
+        """Regression: as_dict() is derived from the dataclass fields plus
+        the declared property list, so adding a counter cannot silently
+        fall out of the export again."""
+        from dataclasses import fields
+
+        s = RuntimeStats()
+        d = s.as_dict()
+        expected = {
+            f.name for f in fields(RuntimeStats)
+            if f.name not in RuntimeStats.NON_SCALAR_FIELDS
+        } | set(RuntimeStats.EXPORTED_PROPERTIES)
+        assert set(d) == expected
+        # The five keys the hand-maintained dict used to omit:
+        for name in (
+            "retention_overrides",
+            "resolved_predictions",
+            "correct_predictions",
+            "ssd_page_ios",
+            "prefetch_accuracy",
+        ):
+            assert name in d, name
+
+    def test_as_dict_matches_bound_registry(self):
+        """The registry export and the dict export expose the same counters."""
+        s = RuntimeStats(t1_hits=4, t1_misses=2, ssd_page_writes=1)
+        reg = s.bind_registry(None)
+        d = s.as_dict()
+        for name, value in d.items():
+            assert reg.get(f"gmt_{name}").value == value
+
 
 class TestPlacementDecision:
     def test_maps_from_reuse_class(self):

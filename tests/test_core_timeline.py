@@ -77,6 +77,22 @@ class TestStatsTimeline:
         with pytest.raises(ConfigError):
             tl.series("tea_temperature")
 
+    def test_registry_windows_share_timeline_boundaries(self):
+        """A telemetry-backed timeline cuts a registry delta window at
+        every StatsWindow boundary, with matching counter deltas."""
+        from repro.obs import Telemetry
+
+        rt = make_runtime()
+        tel = rt.attach_telemetry(Telemetry(window=10_000_000))
+        tl = StatsTimeline(rt, window=50, telemetry=tel)
+        tl.run(make_workload("srad", 160, jitter_warps=0))
+        registry_windows = tel.windows()
+        timeline_windows = tl.windows()
+        assert len(registry_windows) == len(timeline_windows)
+        for rw, tw in zip(registry_windows, timeline_windows):
+            assert rw["gmt_t1_hits"] == tw.t1_hits
+            assert rw["gmt_ssd_page_reads"] == tw.ssd_reads
+
     def test_warmup_visible_on_iterative_workload(self):
         """The point of the tool: prediction coverage must grow from the
         cold window to the last window on an iterative app."""

@@ -1,0 +1,188 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.core.stats import RuntimeStats
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    BoundCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    linear_buckets,
+    log_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("gmt_things")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_monotonic(self):
+        c = Counter("gmt_things")
+        with pytest.raises(ConfigError):
+            c.inc(-1)
+
+    def test_name_validation(self):
+        with pytest.raises(ConfigError):
+            Counter("bad name")
+        with pytest.raises(ConfigError):
+            Counter("0leading")
+
+
+class TestBoundCounter:
+    def test_reads_host_attribute_live(self):
+        stats = RuntimeStats()
+        c = BoundCounter("gmt_t1_hits", stats, "t1_hits")
+        assert c.value == 0
+        stats.t1_hits += 7
+        assert c.value == 7
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ConfigError):
+            BoundCounter("gmt_nope", RuntimeStats(), "no_such_field")
+
+    def test_inc_is_read_only(self):
+        c = BoundCounter("gmt_t1_hits", RuntimeStats(), "t1_hits")
+        with pytest.raises(ConfigError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("gmt_depth")
+        g.set(3.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 2.0
+
+    def test_callback_backed(self):
+        box = {"v": 10}
+        g = Gauge("gmt_occupancy", fn=lambda: box["v"])
+        assert g.value == 10
+        box["v"] = 12
+        assert g.value == 12
+        with pytest.raises(ConfigError):
+            g.set(1.0)
+
+
+class TestBuckets:
+    def test_log_buckets(self):
+        assert log_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+        with pytest.raises(ConfigError):
+            log_buckets(0.0, 2.0, 4)
+        with pytest.raises(ConfigError):
+            log_buckets(1.0, 1.0, 4)
+
+    def test_linear_buckets(self):
+        assert linear_buckets(0.1, 0.1, 3) == pytest.approx([0.1, 0.2, 0.3])
+        with pytest.raises(ConfigError):
+            linear_buckets(0.0, 0.0, 3)
+
+
+class TestHistogram:
+    def test_basic_accounting(self):
+        h = Histogram("gmt_lat", buckets=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_cumulative_buckets_end_at_inf(self):
+        h = Histogram("gmt_lat", buckets=[1.0, 10.0])
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)  # overflow
+        counts = h.bucket_counts()
+        assert counts == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus semantics: le is inclusive.
+        h = Histogram("gmt_lat", buckets=[10.0, 100.0])
+        h.observe(10.0)
+        assert h.bucket_counts()[0] == (10.0, 1)
+
+    def test_quantile_coarse(self):
+        h = Histogram("gmt_lat", buckets=[1.0, 2.0, 4.0, 8.0])
+        for _ in range(9):
+            h.observe(1.5)  # -> le=2 bucket
+        h.observe(7.0)  # -> le=8 bucket
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 8.0
+        assert Histogram("gmt_empty").quantile(0.5) == 0.0
+        with pytest.raises(ConfigError):
+            h.quantile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("gmt_lat", buckets=[10.0, 1.0])
+
+
+class TestMetricsRegistry:
+    def test_same_name_same_type_dedupes(self):
+        reg = MetricsRegistry()
+        a = reg.counter("gmt_x")
+        b = reg.counter("gmt_x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_same_name_different_type_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("gmt_x")
+        with pytest.raises(ConfigError):
+            reg.gauge("gmt_x")
+
+    def test_get_unknown(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().get("gmt_missing")
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("gmt_a")
+        reg.gauge("gmt_b")
+        assert "gmt_a" in reg and "gmt_c" not in reg
+        assert reg.names() == ["gmt_a", "gmt_b"]
+
+    def test_snapshot_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("gmt_c").inc(3)
+        h = reg.histogram("gmt_h", buckets=[1.0, 10.0])
+        h.observe(5.0)
+        snap = reg.snapshot()
+        assert snap["gmt_c"] == 3
+        assert snap["gmt_h_count"] == 1
+        assert snap["gmt_h_sum"] == 5.0
+        assert "gmt_h_p50" in snap and "gmt_h_p99" in snap
+
+
+class TestStatsBinding:
+    def test_bound_registry_mirrors_every_counter(self):
+        stats = RuntimeStats()
+        reg = stats.bind_registry(None)
+        stats.t1_hits += 3
+        stats.ssd_page_reads += 2
+        assert reg.get("gmt_t1_hits").value == 3
+        assert reg.get("gmt_ssd_page_reads").value == 2
+
+    def test_bound_registry_covers_fields_and_properties(self):
+        stats = RuntimeStats()
+        reg = stats.bind_registry(None)
+        for name in RuntimeStats.counter_names():
+            assert f"gmt_{name}" in reg
+        for name in RuntimeStats.EXPORTED_PROPERTIES:
+            assert f"gmt_{name}" in reg
+
+    def test_derived_rates_are_gauges(self):
+        stats = RuntimeStats(t1_hits=3, t1_misses=1)
+        reg = stats.bind_registry(None)
+        assert reg.get("gmt_t1_hit_rate").value == 0.75

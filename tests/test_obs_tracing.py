@@ -1,0 +1,160 @@
+"""Unit tests for the span tracer and the exporters (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, SpanTracer
+
+
+class TestSpanTracer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+    def test_record_and_filter(self):
+        t = SpanTracer()
+        t.record("miss", "access", 100.0, 50.0, page=7)
+        t.record("evict", "evict", 200.0, 25.0)
+        t.instant("prefetch", "access", 300.0, page=8)
+        assert len(t) == 3
+        assert len(t.spans(cat="access")) == 2
+        assert t.spans(name="miss")[0].args == {"page": 7}
+        assert t.spans(name="prefetch")[0].instant
+
+    def test_bounded_drop_oldest(self):
+        t = SpanTracer(capacity=2)
+        for i in range(5):
+            t.record("miss", "access", float(i), 1.0)
+        assert len(t) == 2
+        assert t.emitted == 5
+        assert t.dropped == 3
+        assert [s.args for s in t] == [{}, {}]
+        assert [s.ts_ns for s in t] == [3.0, 4.0]
+
+    def test_track_sequencing_prevents_overlap(self):
+        """Same-name spans at the same virtual timestamp render as a
+        sequential lane: each start is nudged past the previous end."""
+        t = SpanTracer()
+        a = t.record("miss", "access", 100.0, 50.0)
+        b = t.record("miss", "access", 100.0, 30.0)
+        c = t.record("miss", "access", 500.0, 10.0)
+        assert a.ts_ns == 100.0
+        assert b.ts_ns == 150.0  # pushed to a's end
+        assert c.ts_ns == 500.0  # clock moved past the cursor; untouched
+
+    def test_tracks_are_independent(self):
+        t = SpanTracer()
+        t.record("miss", "access", 100.0, 50.0)
+        other = t.record("evict", "evict", 100.0, 10.0)
+        assert other.ts_ns == 100.0
+
+    def test_hottest_ranks_by_total_duration(self):
+        t = SpanTracer()
+        for _ in range(10):
+            t.record("miss", "access", 0.0, 5.0)
+        t.record("writeback", "evict", 0.0, 1000.0)
+        top = t.hottest(2)
+        assert top[0][0] == "writeback"
+        assert top[1] == ("miss", 10, 50.0)
+
+    def test_clear(self):
+        t = SpanTracer()
+        t.record("miss", "access", 100.0, 50.0)
+        t.clear()
+        assert len(t) == 0 and t.emitted == 0
+        # cursor reset too: a new span at ts 0 stays at ts 0
+        assert t.record("miss", "access", 0.0, 1.0).ts_ns == 0.0
+
+
+class TestChromeTraceExport:
+    def test_event_structure(self):
+        t = SpanTracer()
+        t.record("miss", "access", 2000.0, 1000.0, page=7)
+        t.instant("prefetch", "access", 4000.0)
+        events = chrome_trace_events({"GMT-Reuse": t})
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"GMT-Reuse", "miss", "prefetch"}
+        complete = next(e for e in events if e["ph"] == "X")
+        assert complete["ts"] == 2.0 and complete["dur"] == 1.0  # ns -> us
+        assert complete["args"] == {"page": 7}
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+
+    def test_multiple_processes_get_distinct_pids(self):
+        a, b = SpanTracer(), SpanTracer()
+        a.record("miss", "access", 0.0, 1.0)
+        b.record("miss", "access", 0.0, 1.0)
+        events = chrome_trace_events([("BaM", a), ("GMT-Reuse", b)])
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1}
+
+    def test_write_is_loadable_json(self, tmp_path):
+        t = SpanTracer()
+        t.record("miss", "access", 0.0, 1.0)
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), {"run": t})
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert doc["displayTimeUnit"] == "ns"
+
+
+class TestPrometheusExport:
+    def make_registry(self, **labels):
+        reg = MetricsRegistry(const_labels=labels)
+        reg.counter("gmt_t1_hits", help="Tier-1 hits").inc(8)
+        reg.gauge("gmt_depth").set(3.0)
+        h = reg.histogram("gmt_lat", help="latency", buckets=[1.0, 10.0])
+        h.observe(5.0)
+        return reg
+
+    def test_text_format(self):
+        text = prometheus_text(self.make_registry(runtime="GMT-Reuse"))
+        assert "# HELP gmt_t1_hits_total Tier-1 hits" in text
+        assert "# TYPE gmt_t1_hits_total counter" in text
+        assert 'gmt_t1_hits_total{runtime="GMT-Reuse"} 8' in text
+        assert "# TYPE gmt_depth gauge" in text
+        assert 'gmt_lat_bucket{le="1",runtime="GMT-Reuse"} 0' in text
+        assert 'gmt_lat_bucket{le="+Inf",runtime="GMT-Reuse"} 1' in text
+        assert 'gmt_lat_sum{runtime="GMT-Reuse"} 5.0' in text
+        assert 'gmt_lat_count{runtime="GMT-Reuse"} 1' in text
+        assert text.endswith("\n")
+
+    def test_merged_registries_share_headers(self):
+        a = self.make_registry(runtime="BaM")
+        b = self.make_registry(runtime="GMT-Reuse")
+        text = prometheus_text([a, b])
+        assert text.count("# TYPE gmt_t1_hits_total counter") == 1
+        assert 'gmt_t1_hits_total{runtime="BaM"} 8' in text
+        assert 'gmt_t1_hits_total{runtime="GMT-Reuse"} 8' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry(const_labels={"app": 'he said "hi"\n'})
+        reg.counter("gmt_x").inc()
+        text = prometheus_text(reg)
+        assert r'app="he said \"hi\"\n"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        text = write_prometheus(str(path), self.make_registry())
+        assert path.read_text() == text
+
+
+class TestJsonlExport:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "windows.jsonl"
+        records = [{"window": 0, "x": 1}, {"window": 1, "x": 2}]
+        assert write_jsonl(str(path), records) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == records
