@@ -43,6 +43,24 @@ def io_reduction_percent(runtime_ios: float, baseline_ios: float) -> float:
     return 100.0 * (baseline_ios - runtime_ios) / baseline_ios
 
 
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every tenant receives identical service, approaching ``1/n``
+    as one tenant monopolises the resource.  Values must be non-negative;
+    an all-zero allocation is (vacuously) perfectly fair.
+    """
+    if not values:
+        raise ValueError("Jain's index of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("Jain's index requires non-negative values")
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
 def speedup(baseline_time: float, runtime_time: float) -> float:
     """``baseline / runtime`` — >1 means the runtime is faster."""
     if runtime_time <= 0:

@@ -4,6 +4,9 @@
                         print the comparison (speedups, I/O, hit rates).
 ``gmt-characterize``  — instrumented analysis of a workload: reuse %,
                         Eq. 1 class fractions, miss-ratio-curve points.
+``gmt-serve``         — serve a mix of tenant workloads over one shared
+                        hierarchy (:mod:`repro.serve`): per-tenant
+                        results, slowdown vs solo, fairness.
 ``gmt-experiments``   — regenerate paper tables/figures
                         (:mod:`repro.experiments.runner`).
 
@@ -181,6 +184,137 @@ def main_characterize(argv: list[str] | None = None) -> int:
     rows = [[c, mrc.miss_ratio(c)] for c in dict.fromkeys(capacities)]
     print()
     print(render_table(["capacity (pages)", "LRU miss ratio"], rows, title="Miss-ratio curve"))
+    return 0
+
+
+def _parse_tenants(spec: str) -> list:
+    """Parse ``--tenants bfs,pagerank:2,hotspot`` into TenantSpecs.
+
+    Each comma-separated entry is ``workload[:weight]``.
+    """
+    from repro.errors import ConfigError
+    from repro.serve import TenantSpec
+
+    specs = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, weight = entry.partition(":")
+        try:
+            specs.append(TenantSpec(name=name, workload=name, weight=float(weight) if weight else 1.0))
+        except ValueError:
+            raise ConfigError(f"bad tenant spec {entry!r}; want workload[:weight]") from None
+    if not specs:
+        raise ConfigError("--tenants needs at least one workload")
+    return specs
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    """Entry point for ``gmt-serve``."""
+    from repro.serve import QUOTA_MODES, SCHEDULER_NAMES, QuotaConfig, TenantServer, build_tenants
+
+    parser = argparse.ArgumentParser(
+        prog="gmt-serve",
+        description="Serve a mix of tenant workloads over one shared GMT hierarchy",
+    )
+    parser.add_argument(
+        "--tenants",
+        required=True,
+        metavar="W1[:WEIGHT],W2[:WEIGHT],...",
+        help="comma-separated Table 2 workloads, optionally weighted "
+        "(e.g. bfs,pagerank:2,hotspot)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="reuse",
+        choices=["tier-order", "random", "reuse", "dueling"],
+        help="placement policy of the shared hierarchy (default: reuse)",
+    )
+    parser.add_argument(
+        "--discipline",
+        default="round-robin",
+        choices=list(SCHEDULER_NAMES),
+        help="stream interleaving discipline (default: round-robin)",
+    )
+    parser.add_argument(
+        "--quotas",
+        default="none",
+        choices=list(QUOTA_MODES),
+        help="per-tenant tier frame quotas: none, static caps, or "
+        "dynamic with idle reclaim (default: none)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=DEFAULT_SCALE,
+        help=f"byte-scale divisor vs the paper's platform (default {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--oversubscription",
+        type=float,
+        default=2.0,
+        help="aggregate working set / (Tier-1 + Tier-2) capacity (default 2)",
+    )
+    parser.add_argument(
+        "--platform",
+        default="paper",
+        choices=sorted(PLATFORM_PRESETS),
+        help="hardware preset (default: the paper's Table 1 testbed)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    parser.add_argument(
+        "--no-solo",
+        action="store_true",
+        help="skip the solo baseline replays (no slowdown/fairness columns)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto trace with per-tenant lanes to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus snapshot with tenant-labelled series to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(
+        args.scale, platform=get_platform(args.platform), policy=args.policy
+    )
+    streams = build_tenants(
+        _parse_tenants(args.tenants),
+        config,
+        oversubscription=args.oversubscription,
+        seed=args.seed,
+    )
+    server = TenantServer(
+        config,
+        streams,
+        discipline=args.discipline,
+        quota=QuotaConfig(mode=args.quotas),
+    )
+    telemetry = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        telemetry = server.attach_telemetry()
+    outcome = server.run(solo_baselines=not args.no_solo)
+    print(outcome.to_table())
+
+    if args.trace_out is not None:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out, {telemetry.name: telemetry.tracer})
+        print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(
+            args.metrics_out, [telemetry.registry] + server.tenant_registries()
+        )
+        print(f"wrote Prometheus snapshot to {args.metrics_out}")
     return 0
 
 

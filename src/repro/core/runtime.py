@@ -32,10 +32,10 @@ from repro.core.policies import PlacementPolicy, make_policy
 from repro.core.stats import RuntimeStats
 from repro.errors import SimulationError
 from repro.mem.clock_replacement import ClockReplacement
-from repro.mem.fifo import FifoQueue
 from repro.mem.page import PageLocation, PageState
 from repro.mem.page_table import PageTable
 from repro.mem.tier import Tier
+from repro.mem.tier2_order import Tier2Clock, Tier2Fifo
 from repro.reuse.vtd import VirtualTimestampClock
 from repro.sim.cost import CostBreakdown, CostModel
 from repro.sim.gpu import WarpAccess, coalesce
@@ -65,45 +65,11 @@ class RunResult:
         """``other.elapsed / self.elapsed`` — >1 means self is faster."""
         if self.elapsed_ns <= 0:
             raise SimulationError("cannot compute speedup: zero elapsed time")
+        if other.elapsed_ns <= 0:
+            raise SimulationError(
+                "cannot compute speedup: baseline has zero elapsed time"
+            )
         return other.elapsed_ns / self.elapsed_ns
-
-
-class _Tier2Fifo:
-    """Tier-2 eviction order: simple FIFO (section 2.2)."""
-
-    def __init__(self) -> None:
-        self._queue = FifoQueue()
-
-    def insert(self, page: int) -> None:
-        self._queue.push(page)
-
-    def remove(self, page: int) -> None:
-        self._queue.remove(page)
-
-    def select_victim(self) -> int:
-        return self._queue.pop_oldest()
-
-    def touch(self, page: int) -> None:
-        """FIFO ignores recency."""
-
-
-class _Tier2Clock:
-    """Tier-2 eviction order: clock (GMT-TierOrder, section 2.1.1)."""
-
-    def __init__(self, capacity: int) -> None:
-        self._clock = ClockReplacement(capacity)
-
-    def insert(self, page: int) -> None:
-        self._clock.insert(page, referenced=False)
-
-    def remove(self, page: int) -> None:
-        self._clock.remove(page)
-
-    def select_victim(self) -> int:
-        return self._clock.select_victim()
-
-    def touch(self, page: int) -> None:
-        self._clock.touch(page)
 
 
 class GMTRuntime:
@@ -127,7 +93,7 @@ class GMTRuntime:
     def __init__(self, config: GMTConfig, policy_factory=None) -> None:
         self.config = config
         platform = config.platform
-        self.stats = RuntimeStats()
+        self.stats = self._make_stats()
         self.page_table = PageTable()
         self.vts = VirtualTimestampClock()
         self.rng = random.Random(config.seed)
@@ -142,9 +108,9 @@ class GMTRuntime:
             config, self.stats, self.vts, self.rng
         )
         if self.policy.tier2_uses_clock and config.tier2_frames > 0:
-            self._t2_order = _Tier2Clock(config.tier2_frames)
+            self._t2_order = Tier2Clock(config.tier2_frames)
         else:
-            self._t2_order = _Tier2Fifo()
+            self._t2_order = Tier2Fifo()
 
         self.engine = make_engine(config.transfer_engine)
         #: Amortised critical-path cost of one Tier-1<->Tier-2 page move:
@@ -183,6 +149,12 @@ class GMTRuntime:
         self._fx_t2_place = False
         self._fx_t2_evict = False
         self.name = f"GMT-{self.policy.name}"
+
+    def _make_stats(self) -> RuntimeStats:
+        """Counter storage for this run.  The multi-tenant serving layer
+        (:mod:`repro.serve`) overrides this with a stats object that also
+        mirrors increments into per-tenant slices."""
+        return RuntimeStats()
 
     # ------------------------------------------------------------------
     # queueing time model (optional, config.time_model == "queueing")
@@ -412,14 +384,31 @@ class GMTRuntime:
     # ------------------------------------------------------------------
     # eviction pipeline
     # ------------------------------------------------------------------
+    def _tier1_needs_eviction(self) -> bool:
+        """Whether the next Tier-1 fill must first free a frame.
+
+        The base runtime evicts only when the tier is physically full;
+        the serving layer also evicts when the filling tenant has reached
+        its Tier-1 frame quota.
+        """
+        return self.tier1.full
+
+    def _next_tier1_victim(self) -> int:
+        """Nominate the next Tier-1 eviction candidate (clock sweep).
+
+        Hook for quota-aware victim selection: the serving layer restricts
+        the sweep to an over-budget tenant's own pages.
+        """
+        return self.t1_clock.select_victim()
+
     def _ensure_tier1_frame(self) -> float:
         """Free one Tier-1 frame if needed; returns critical-path ns spent."""
-        if not self.tier1.full:
+        if not self._tier1_needs_eviction():
             return 0.0
 
         retries = 0
         while True:
-            victim = self.t1_clock.select_victim()
+            victim = self._next_tier1_victim()
             vstate = self.page_table.lookup(victim)
             plan = self.policy.choose(vstate)
             if plan.decision is not PlacementDecision.RETAIN_TIER1:
@@ -465,6 +454,12 @@ class GMTRuntime:
         despite a Tier-3 prediction must not displace a resident — every
         Tier-2 resident was placed with at least as strong a claim.
         """
+        if not self._admit_tier2(state):
+            # Migration admission control (the serving layer's per-tenant
+            # Tier-2 quotas): the page is denied a host-memory frame and
+            # takes the Tier-3 bypass path instead.
+            self.stats.t2_quota_denials += 1
+            return self._bypass_to_tier3(state)
         ns = 0.0
         if self.tier2.full:
             if not allow_eviction:
@@ -485,9 +480,21 @@ class GMTRuntime:
             obs.span("place-t2", "tier2", self._t2_move_ns, page=state.page)
         return ns
 
+    def _admit_tier2(self, state: PageState) -> bool:
+        """Whether ``state`` may consume a Tier-2 frame (admission hook).
+
+        Always true for the base runtime; the serving layer denies
+        placement when the page's tenant is over its Tier-2 quota.
+        """
+        return True
+
+    def _select_tier2_victim(self) -> int:
+        """Nominate the Tier-2 eviction victim (FIFO/clock order hook)."""
+        return self._t2_order.select_victim()
+
     def _evict_from_tier2(self) -> float:
         """Make room in Tier-2 (FIFO, or clock under GMT-TierOrder)."""
-        victim = self._t2_order.select_victim()
+        victim = self._select_tier2_victim()
         self._emit(EventKind.T2_EVICT, victim)
         self._fx_t2_evict = True
         self.tier2.remove(victim)

@@ -50,6 +50,8 @@ class RuntimeStats:
         "t2_hit_rate": "Fraction of Tier-2 lookups that found the page",
         "prediction_accuracy": "Resolved Markov predictions naming the correct tier (Fig. 9)",
         "ssd_page_ios": "Total NVMe page commands (reads + writes)",
+        "quota_evictions": "Tier-1 evictions forced by a tenant frame quota (repro.serve)",
+        "t2_quota_denials": "Tier-2 placements denied by per-tenant admission control",
     }
 
     # --- access stream ----------------------------------------------------
@@ -72,6 +74,10 @@ class RuntimeStats:
     t2_evictions: int = 0              # FIFO/clock evictions out of Tier-2
     t2_full_bypasses: int = 0          # GMT-Reuse: no free slot -> bypass
     forced_t2_placements: int = 0      # 80% Tier-3-bias heuristic overrides
+
+    # --- multi-tenant serving (repro.serve; zero outside a served run) -------
+    quota_evictions: int = 0           # Tier-1 evictions forced by a tenant quota
+    t2_quota_denials: int = 0          # Tier-2 placements denied by admission
 
     # --- Tier-3 / SSD ---------------------------------------------------------
     ssd_page_reads: int = 0

@@ -29,6 +29,7 @@ EXPERIMENTS = (
     "fig13",
     "fig14",
     "extensions",
+    "serve_mix",
 )
 
 

@@ -105,6 +105,32 @@ class ClockReplacement:
             self.remove(page)
             return page
 
+    def select_victim_where(self, predicate) -> int | None:
+        """Filtered clock sweep: evict the next victim satisfying ``predicate``.
+
+        Pages failing the predicate are skipped entirely — their reference
+        bits are left untouched, so a tenant-restricted eviction (see
+        :mod:`repro.serve`) does not erode other tenants' recency state.
+        Returns ``None`` when no tracked page matches.
+        """
+        if not any(predicate(page) for page in self._frame_of):
+            return None
+        # Two sweeps bound the scan: the first clears matching pages'
+        # reference bits, the second must then find a clear one.
+        for _ in range(2 * self.capacity + 1):
+            page = self._pages[self._hand]
+            if page is None or not predicate(page):
+                self._hand = (self._hand + 1) % self.capacity
+                continue
+            if self._refbits[self._hand]:
+                self._refbits[self._hand] = False
+                self._hand = (self._hand + 1) % self.capacity
+                continue
+            self._hand = (self._hand + 1) % self.capacity
+            self.remove(page)
+            return page
+        raise PageStateError("filtered clock sweep failed to converge")  # pragma: no cover
+
     def peek_victim(self) -> int:
         """Like :meth:`select_victim` but leaves the victim installed.
 

@@ -1,0 +1,92 @@
+"""Tier-2 eviction orders: FIFO (section 2.2) and clock (GMT-TierOrder).
+
+Both classes present the same small protocol the runtime's eviction
+pipeline drives — ``insert`` / ``remove`` / ``touch`` / ``select_victim``
+— plus :meth:`select_victim_where`, a *filtered* victim selection used by
+the multi-tenant serving layer (:mod:`repro.serve`) to restrict eviction
+to one tenant's pages (quota enforcement, TierBPF-style admission).
+
+These were private to :mod:`repro.core.runtime` originally; they are
+public here so quota-aware wrappers can build on them without reaching
+into runtime internals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mem.clock_replacement import ClockReplacement
+from repro.mem.fifo import FifoQueue
+
+
+class Tier2Fifo:
+    """Tier-2 eviction order: simple FIFO (paper section 2.2)."""
+
+    def __init__(self) -> None:
+        self._queue = FifoQueue()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._queue
+
+    def insert(self, page: int) -> None:
+        self._queue.push(page)
+
+    def remove(self, page: int) -> None:
+        self._queue.remove(page)
+
+    def select_victim(self) -> int:
+        return self._queue.pop_oldest()
+
+    def select_victim_where(self, predicate: Callable[[int], bool]) -> int | None:
+        """Oldest queued page satisfying ``predicate`` (None if no match).
+
+        Pages not matching the predicate keep their queue positions.
+        """
+        for page in self._queue.pages():
+            if predicate(page):
+                self._queue.remove(page)
+                return page
+        return None
+
+    def touch(self, page: int) -> None:
+        """FIFO ignores recency."""
+
+    def pages(self) -> list[int]:
+        """Snapshot in FIFO order (oldest first)."""
+        return self._queue.pages()
+
+
+class Tier2Clock:
+    """Tier-2 eviction order: clock (GMT-TierOrder, section 2.1.1)."""
+
+    def __init__(self, capacity: int) -> None:
+        self._clock = ClockReplacement(capacity)
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._clock
+
+    def insert(self, page: int) -> None:
+        self._clock.insert(page, referenced=False)
+
+    def remove(self, page: int) -> None:
+        self._clock.remove(page)
+
+    def select_victim(self) -> int:
+        return self._clock.select_victim()
+
+    def select_victim_where(self, predicate: Callable[[int], bool]) -> int | None:
+        """Clock victim restricted to pages satisfying ``predicate``."""
+        return self._clock.select_victim_where(predicate)
+
+    def touch(self, page: int) -> None:
+        self._clock.touch(page)
+
+    def pages(self) -> list[int]:
+        """Snapshot of tracked pages in frame order."""
+        return self._clock.pages()

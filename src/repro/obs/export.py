@@ -51,19 +51,24 @@ def chrome_trace_events(
                 "args": {"name": process},
             }
         )
-        tids: dict[str, int] = {}
+        tids: dict[tuple, int] = {}
         for span in tracer:
-            tid = tids.get(span.name)
+            # Multi-tenant runs label spans with a ``tenant`` arg; keep
+            # each tenant on its own track so lanes never interleave.
+            tenant = span.args.get("tenant") if span.args else None
+            track = (span.name, tenant)
+            tid = tids.get(track)
             if tid is None:
                 tid = len(tids)
-                tids[span.name] = tid
+                tids[track] = tid
+                track_name = span.name if tenant is None else f"{span.name} [{tenant}]"
                 events.append(
                     {
                         "name": "thread_name",
                         "ph": "M",
                         "pid": pid,
                         "tid": tid,
-                        "args": {"name": span.name},
+                        "args": {"name": track_name},
                     }
                 )
             event = {

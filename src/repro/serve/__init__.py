@@ -1,0 +1,73 @@
+"""Multi-tenant serving layer: concurrent workload streams over one GMT.
+
+The paper evaluates GMT one application at a time; this package models
+the production question — many concurrent workloads contending for one
+Tier-1/Tier-2/Tier-3 hierarchy — on the simulated-time axis:
+
+- :mod:`repro.serve.stream` — tenant identity and page-id namespacing
+  (tenants never alias pages);
+- :mod:`repro.serve.scheduler` — interleaving disciplines (round-robin,
+  weighted-fair by issued bytes, FIFO-arrival) merging the streams into
+  one trace the existing runtime replays;
+- :mod:`repro.serve.quota` — per-tenant Tier-1/Tier-2 frame budgets
+  (static caps, or dynamic with idle reclaim) enforced through the
+  runtime's victim-selection and admission hooks;
+- :mod:`repro.serve.runtime` — the tenant-aware runtime: per-tenant
+  counter slices (:class:`SplitStats`), quota-steered eviction, and
+  ``tenant=``-labelled telemetry;
+- :mod:`repro.serve.server` — the front door: :class:`TenantServer`
+  replays a mix and reports per-tenant results, slowdowns vs solo runs,
+  and Jain-fairness summaries.
+
+CLI: ``gmt-serve --tenants bfs,pagerank --policy reuse`` (or
+``python -m repro.serve``).
+"""
+
+from repro.serve.quota import QUOTA_MODES, OwnedTier, QuotaConfig, TierQuotas, split_frames
+from repro.serve.runtime import SplitStats, TenantAwareRuntime
+from repro.serve.scheduler import (
+    SCHEDULER_NAMES,
+    FifoScheduler,
+    RoundRobinScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+    merge_streams,
+)
+from repro.serve.server import (
+    ServeResult,
+    TenantResult,
+    TenantServer,
+    build_tenants,
+)
+from repro.serve.stream import (
+    NAMESPACE_BITS,
+    TenantSpec,
+    TenantStream,
+    namespace_base,
+    owner_of_page,
+)
+
+__all__ = [
+    "NAMESPACE_BITS",
+    "QUOTA_MODES",
+    "SCHEDULER_NAMES",
+    "FifoScheduler",
+    "OwnedTier",
+    "QuotaConfig",
+    "RoundRobinScheduler",
+    "ServeResult",
+    "SplitStats",
+    "TenantAwareRuntime",
+    "TenantResult",
+    "TenantServer",
+    "TenantSpec",
+    "TenantStream",
+    "TierQuotas",
+    "WeightedFairScheduler",
+    "build_tenants",
+    "make_scheduler",
+    "merge_streams",
+    "namespace_base",
+    "owner_of_page",
+    "split_frames",
+]

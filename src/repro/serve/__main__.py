@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — same entry point as the ``gmt-serve`` script."""
+
+import sys
+
+from repro.cli import main_serve
+
+if __name__ == "__main__":
+    sys.exit(main_serve())

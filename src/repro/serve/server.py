@@ -1,0 +1,373 @@
+"""The tenant server: replay N workload streams over one shared hierarchy.
+
+:class:`TenantServer` is the serving layer's front door.  It builds the
+merged schedule (:mod:`repro.serve.scheduler`), drives one
+:class:`~repro.serve.runtime.TenantAwareRuntime` warp-by-warp while
+switching the accounting/quota context to the issuing tenant, and returns
+a :class:`ServeResult` carrying the aggregate :class:`RunResult` plus one
+:class:`TenantResult` per stream — per-tenant counters, completion time,
+slowdown versus a solo run of the same stream, and Jain-fairness
+summaries across the mix.
+
+Quick start::
+
+    from repro.core.config import GMTConfig
+    from repro.serve import TenantServer, build_tenants, QuotaConfig
+
+    config = GMTConfig.paper_default(scale=2048)
+    streams = build_tenants(["bfs", "pagerank"], config)
+    server = TenantServer(config, streams, discipline="weighted-fair",
+                          quota=QuotaConfig(mode="static"))
+    outcome = server.run()
+    print(outcome.to_table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import jain_index
+from repro.analysis.report import render_table
+from repro.core.config import GMTConfig, PAPER_OVERSUBSCRIPTION
+from repro.core.runtime import GMTRuntime, RunResult
+from repro.core.stats import RuntimeStats
+from repro.errors import ConfigError, SimulationError
+from repro.serve.quota import QuotaConfig
+from repro.serve.runtime import TenantAwareRuntime
+from repro.serve.scheduler import SCHEDULER_NAMES, make_scheduler, warp_bytes
+from repro.serve.stream import MAX_TENANTS, TenantSpec, TenantStream
+from repro.units import format_bytes, format_time
+from repro.workloads.registry import make_workload, normalize_name
+
+
+@dataclass
+class TenantResult:
+    """One tenant's slice of a served run."""
+
+    tenant: str
+    workload: str
+    weight: float
+    stats: RuntimeStats
+    issued_warps: int
+    issued_bytes: int
+    #: Aggregate modelled time when this tenant's stream drained.
+    finish_ns: float
+    #: Elapsed time of the same stream replayed solo (None = not measured).
+    solo_ns: float | None = None
+    peak_tier1: int = 0
+    peak_tier2: int = 0
+    tier1_budget: int | None = None
+    tier2_budget: int | None = None
+
+    @property
+    def slowdown(self) -> float | None:
+        """Completion-time inflation vs the solo run (>1 = slower shared)."""
+        if self.solo_ns is None:
+            return None
+        if self.solo_ns <= 0:
+            raise SimulationError(
+                f"tenant {self.tenant!r}: solo baseline has zero elapsed time"
+            )
+        return self.finish_ns / self.solo_ns
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served mix."""
+
+    discipline: str
+    quota_mode: str
+    result: RunResult
+    tenants: list[TenantResult] = field(default_factory=list)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Makespan of the whole mix."""
+        return self.result.elapsed_ns
+
+    def slowdowns(self) -> list[float]:
+        """Per-tenant slowdowns (empty when solo baselines were skipped)."""
+        return [t.slowdown for t in self.tenants if t.slowdown is not None]
+
+    def fairness(self) -> dict[str, float]:
+        """min/max slowdown and Jain's index over the tenants' slowdowns.
+
+        Jain's index is computed over *normalised service* (1/slowdown),
+        so equal slowdowns — however large — score a perfect 1.0 and one
+        starved tenant drags the index toward 1/N.
+        """
+        slowdowns = self.slowdowns()
+        if not slowdowns:
+            return {}
+        service = [1.0 / s for s in slowdowns]
+        return {
+            "min_slowdown": min(slowdowns),
+            "max_slowdown": max(slowdowns),
+            "jain_index": jain_index(service),
+        }
+
+    def to_table(self) -> str:
+        """Human-readable per-tenant comparison (CLI/report rendering)."""
+        headers = [
+            "tenant", "workload", "warps", "T1 hit", "SSD I/O",
+            "finish", "slowdown", "peak T1 (budget)", "peak T2 (budget)",
+        ]
+        rows: list[list[object]] = []
+        for t in self.tenants:
+            rows.append(
+                [
+                    t.tenant,
+                    t.workload,
+                    t.issued_warps,
+                    f"{t.stats.t1_hit_rate:.0%}",
+                    format_bytes(t.stats.io_bytes(self.result.page_size)),
+                    format_time(t.finish_ns),
+                    "-" if t.slowdown is None else f"{t.slowdown:.2f}x",
+                    _peak_cell(t.peak_tier1, t.tier1_budget),
+                    _peak_cell(t.peak_tier2, t.tier2_budget),
+                ]
+            )
+        title = (
+            f"{self.result.runtime_name} serving {len(self.tenants)} tenants "
+            f"(discipline={self.discipline}, quotas={self.quota_mode}): "
+            f"makespan {format_time(self.elapsed_ns)}"
+        )
+        text = render_table(headers, rows, title=title)
+        fairness = self.fairness()
+        if fairness:
+            text += (
+                f"\n  fairness: slowdown min {fairness['min_slowdown']:.2f}x / "
+                f"max {fairness['max_slowdown']:.2f}x, "
+                f"Jain's index {fairness['jain_index']:.3f}"
+            )
+        return text
+
+
+def _peak_cell(peak: int, budget: int | None) -> str:
+    return f"{peak}" if budget is None else f"{peak} ({budget})"
+
+
+def build_tenants(
+    specs: list[str | TenantSpec],
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+    share_working_set: bool = True,
+) -> list[TenantStream]:
+    """Size and namespace one :class:`TenantStream` per spec.
+
+    Plain workload names become unit-weight specs.  With
+    ``share_working_set`` (the default) the paper's aggregate working set
+    — ``oversubscription x (Tier-1 + Tier-2)`` — is divided evenly among
+    the tenants, so total memory pressure matches the single-tenant
+    setup; otherwise every tenant gets the full working set.  A single
+    tenant therefore always reproduces the single-stream sizing.  Tenant
+    ``i`` generates with ``seed + i`` so same-workload tenants do not
+    replay identical traces.
+    """
+    if not specs:
+        raise ConfigError("need at least one tenant")
+    if len(specs) > MAX_TENANTS:
+        raise ConfigError(f"too many tenants ({len(specs)} > {MAX_TENANTS})")
+    resolved: list[TenantSpec] = []
+    seen: dict[str, int] = {}
+    for entry in specs:
+        if isinstance(entry, str):
+            entry = TenantSpec(name=entry, workload=entry)
+        key = normalize_name(entry.workload)
+        name = entry.name
+        if name in seen or any(
+            s.name == name for s in resolved
+        ):  # disambiguate duplicates: bfs, bfs-2, bfs-3 ...
+            seen[name] = seen.get(name, 1) + 1
+            name = f"{name}-{seen[name]}"
+        entry = TenantSpec(name=name, workload=key, weight=entry.weight, arrival=entry.arrival)
+        resolved.append(entry)
+
+    total_ws = config.working_set_frames(oversubscription)
+    footprint = max(1, total_ws // len(resolved)) if share_working_set else total_ws
+    return [
+        TenantStream(i, spec, make_workload(spec.workload, footprint, seed=seed + i))
+        for i, spec in enumerate(resolved)
+    ]
+
+
+class _DrainTracking:
+    """Stream proxy that reports when the scheduler drains it.
+
+    Exposes the attributes the disciplines read (``index`` / ``arrival``
+    / ``weight``); iteration passes through and fires ``on_drained`` when
+    the underlying stream is exhausted — the moment the tenant's
+    completion time is stamped.
+    """
+
+    def __init__(self, stream: TenantStream, on_drained) -> None:
+        self.index = stream.index
+        self.arrival = stream.arrival
+        self.weight = stream.weight
+        self._stream = stream
+        self._on_drained = on_drained
+
+    def __iter__(self):
+        yield from self._stream
+        self._on_drained(self.index)
+
+
+class TenantServer:
+    """Multiplex tenant streams onto one shared :class:`GMTRuntime`.
+
+    Args:
+        config: shared hierarchy configuration.
+        streams: the tenants (see :func:`build_tenants`).
+        discipline: scheduling discipline (:data:`SCHEDULER_NAMES`).
+        quota: per-tenant tier budgets (default: none).
+        policy_factory: forwarded to the runtime.
+    """
+
+    def __init__(
+        self,
+        config: GMTConfig,
+        streams: list[TenantStream],
+        discipline: str = "round-robin",
+        quota: QuotaConfig | None = None,
+        policy_factory=None,
+    ) -> None:
+        if not streams:
+            raise ConfigError("TenantServer needs at least one tenant stream")
+        if discipline not in SCHEDULER_NAMES:
+            raise ConfigError(
+                f"unknown discipline {discipline!r}; expected one of {SCHEDULER_NAMES}"
+            )
+        indices = [s.index for s in streams]
+        if indices != list(range(len(streams))):
+            raise ConfigError("tenant stream indices must be 0..N-1 in order")
+        self.config = config
+        self.streams = streams
+        self.discipline = discipline
+        self.quota = quota or QuotaConfig()
+        self._policy_factory = policy_factory
+        self.runtime = TenantAwareRuntime(
+            config,
+            tenant_names=[s.name for s in streams],
+            quota=self.quota,
+            weights=[s.weight for s in streams],
+            policy_factory=policy_factory,
+        )
+
+    # -- telemetry -------------------------------------------------------
+    def attach_telemetry(self, telemetry=None):
+        """Attach tenant-labelling telemetry to the shared runtime."""
+        return self.runtime.attach_telemetry(telemetry)
+
+    def tenant_registries(self, prefix: str = "gmt_") -> list:
+        """Per-tenant metric registries (constant label ``tenant=<name>``).
+
+        Each registry binds the tenant's private stats slice, so exporting
+        them alongside the shared registry yields one Prometheus series
+        per tenant per counter.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registries = []
+        base_labels = self.runtime.obs_labels()
+        for stream, stats in zip(self.streams, self.runtime.tenant_stats):
+            labels = dict(base_labels)
+            labels["tenant"] = stream.name
+            registries.append(stats.bind_registry(MetricsRegistry(const_labels=labels), prefix))
+        return registries
+
+    # -- the serving loop ------------------------------------------------
+    def run(
+        self,
+        solo_baselines: bool = True,
+        solo_ns: dict[int, float] | None = None,
+    ) -> ServeResult:
+        """Replay the merged schedule; returns the mix outcome.
+
+        Args:
+            solo_baselines: replay every stream solo (same config, empty
+                machine) to compute slowdowns.  Skipped when ``solo_ns``
+                already provides the baselines.
+            solo_ns: precomputed ``{tenant index: solo elapsed ns}`` —
+                lets experiment sweeps amortise the solo runs across many
+                served configurations.
+        """
+        runtime = self.runtime
+        page_size = self.config.page_size
+        scheduler = make_scheduler(self.discipline)
+        issued_warps = [0] * len(self.streams)
+        issued_bytes = [0] * len(self.streams)
+        finish_ns: dict[int, float] = {}
+
+        def on_drained(index: int) -> None:
+            # Completion stamp: the aggregate modelled time when the
+            # scheduler found the stream exhausted (for FIFO this is
+            # immediately after the tenant's last warp; the interleaving
+            # disciplines may be a few foreign warps late, which is noise
+            # at trace scale).
+            finish_ns[index] = self._elapsed_now()
+            runtime.finish_tenant(index)
+
+        tracked = [_DrainTracking(s, on_drained) for s in self.streams]
+        last_tenant: int | None = None
+        for tenant, warp in scheduler.schedule(tracked, page_size):
+            if tenant != last_tenant:
+                runtime.begin_tenant(tenant)
+                last_tenant = tenant
+            runtime.access_warp(warp)
+            issued_warps[tenant] += 1
+            issued_bytes[tenant] += warp_bytes(warp, page_size)
+        runtime.begin_tenant(None)
+
+        result = runtime.result()
+        for stream in self.streams:
+            # A scheduler that never pulled past a stream's end (or a
+            # zero-warp stream) still gets a completion stamp.
+            finish_ns.setdefault(stream.index, result.elapsed_ns)
+        tenants: list[TenantResult] = []
+        if solo_ns is None and solo_baselines:
+            solo_ns = {s.index: self.solo_run(s).elapsed_ns for s in self.streams}
+        for stream in self.streams:
+            idx = stream.index
+            quotas = runtime.quotas
+            tenants.append(
+                TenantResult(
+                    tenant=stream.name,
+                    workload=stream.spec.workload,
+                    weight=stream.weight,
+                    stats=runtime.tenant_stats[idx],
+                    issued_warps=issued_warps[idx],
+                    issued_bytes=issued_bytes[idx],
+                    finish_ns=finish_ns[idx],
+                    solo_ns=None if solo_ns is None else solo_ns.get(idx),
+                    peak_tier1=runtime.tier1.peak_owner_count(idx),
+                    peak_tier2=runtime.tier2.peak_owner_count(idx),
+                    tier1_budget=(
+                        quotas.static_tier1_budget(idx) if quotas.enabled else None
+                    ),
+                    tier2_budget=(
+                        quotas.static_tier2_budget(idx) if quotas.enabled else None
+                    ),
+                )
+            )
+        return ServeResult(
+            discipline=self.discipline,
+            quota_mode=self.quota.mode,
+            result=result,
+            tenants=tenants,
+        )
+
+    def _elapsed_now(self) -> float:
+        """Cheap read of the aggregate modelled elapsed time so far."""
+        runtime = self.runtime
+        if runtime._queueing is not None:
+            return runtime._queueing.makespan_ns
+        return runtime.cost.breakdown(
+            pcie_busy_ns=runtime.pcie.busy_time_ns(),
+            ssd_busy_ns=runtime.ssd.busy_time_ns(),
+        ).elapsed_ns
+
+    def solo_run(self, stream: TenantStream) -> RunResult:
+        """Replay one tenant's stream alone on a fresh, unshared runtime."""
+        runtime = GMTRuntime(self.config, policy_factory=self._policy_factory)
+        return runtime.run(iter(stream))

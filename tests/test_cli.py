@@ -91,3 +91,59 @@ class TestExperimentResultExport:
         assert data["headers"] == ["app", "value"]
         assert data["rows"][1] == ["b", 2.0]
         assert data["notes"] == ["n1"]
+
+
+class TestGmtServe:
+    def test_two_tenant_mix(self, capsys):
+        from repro.cli import main_serve
+
+        rc = main_serve(["--tenants", "bfs,pagerank", "--policy", "reuse",
+                         "--scale", "8192"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving 2 tenants" in out
+        assert "bfs" in out and "pagerank" in out
+        assert "slowdown" in out
+        assert "Jain's index" in out
+
+    def test_weights_discipline_and_quotas(self, capsys):
+        from repro.cli import main_serve
+
+        rc = main_serve(["--tenants", "bfs:2,hotspot", "--scale", "8192",
+                         "--discipline", "weighted-fair", "--quotas", "static",
+                         "--no-solo"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quotas=static" in out
+        # --no-solo: no fairness footer.
+        assert "Jain's index" not in out
+
+    def test_exports(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main_serve
+
+        trace = tmp_path / "serve.trace.json"
+        prom = tmp_path / "serve.prom"
+        rc = main_serve(["--tenants", "hotspot,pathfinder", "--scale", "8192",
+                         "--no-solo", "--trace-out", str(trace),
+                         "--metrics-out", str(prom)])
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        lanes = {e["args"]["name"] for e in events if e["name"] == "thread_name"}
+        assert any("[hotspot]" in name for name in lanes)
+        text = prom.read_text()
+        assert 'tenant="hotspot"' in text and 'tenant="pathfinder"' in text
+
+    def test_bad_tenant_weight_rejected(self):
+        from repro.cli import main_serve
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main_serve(["--tenants", "bfs:fast", "--scale", "8192"])
+
+    def test_unknown_discipline_rejected(self):
+        from repro.cli import main_serve
+
+        with pytest.raises(SystemExit):
+            main_serve(["--tenants", "bfs", "--discipline", "lottery"])

@@ -183,3 +183,26 @@ class TestVirtualTime:
         rt = make_runtime()
         rt.access(5)
         assert rt.page_table.lookup(5).last_access_ts == 1
+
+
+class TestSpeedupGuards:
+    def test_speedup_over_zero_baseline_raises(self):
+        from repro.errors import SimulationError
+
+        rt = make_runtime()
+        rt.access(1)
+        result = rt.result()
+        empty = make_runtime().result()  # no accesses: zero elapsed time
+        assert empty.elapsed_ns == 0
+        with pytest.raises(SimulationError, match="baseline"):
+            result.speedup_over(empty)
+
+    def test_speedup_with_zero_self_raises(self):
+        from repro.errors import SimulationError
+
+        rt = make_runtime()
+        rt.access(1)
+        result = rt.result()
+        empty = make_runtime().result()
+        with pytest.raises(SimulationError):
+            empty.speedup_over(result)

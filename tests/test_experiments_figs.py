@@ -182,7 +182,18 @@ class TestRunner:
             "fig13",
             "fig14",
             "extensions",
+            "serve_mix",
         }
+
+    def test_serve_mix_sweep(self):
+        (result,) = run_experiment("serve_mix", scale=SCALE)
+        assert result.name == "serve_mix"
+        # 3 disciplines x 3 quota modes.
+        assert len(result.rows) == 9
+        outcomes = result.extras["outcomes"]
+        for outcome in outcomes.values():
+            assert len(outcome.tenants) == 3
+            assert all(t.slowdown is not None for t in outcome.tenants)
 
     def test_run_experiment_dispatch(self):
         results = run_experiment("fig6", scale=SCALE)

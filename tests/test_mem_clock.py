@@ -127,3 +127,57 @@ class TestClockSecondChance:
         c.insert(3, referenced=False)
         # Sequence of evictions remains well-defined after wrap.
         assert c.select_victim() in (2, 3)
+
+
+class TestSelectVictimWhere:
+    """Filtered victim selection (quota-restricted eviction)."""
+
+    def _refbit(self, c, page):
+        return c._refbits[c._frame_of[page]]
+
+    def test_no_match_returns_none(self):
+        c = ClockReplacement(4)
+        c.insert(1, referenced=False)
+        c.insert(2, referenced=False)
+        assert c.select_victim_where(lambda p: p > 100) is None
+        assert len(c) == 2
+
+    def test_empty_returns_none(self):
+        assert ClockReplacement(2).select_victim_where(lambda p: True) is None
+
+    def test_picks_only_matching_page(self):
+        c = ClockReplacement(4)
+        for page in (10, 21, 30):
+            c.insert(page, referenced=False)
+        victim = c.select_victim_where(lambda p: p % 2 == 1)
+        assert victim == 21
+        assert 21 not in c
+        assert 10 in c and 30 in c
+
+    def test_preserves_refbits_of_non_matching_pages(self):
+        c = ClockReplacement(4)
+        c.insert(10, referenced=True)
+        c.insert(21, referenced=False)
+        c.insert(30, referenced=True)
+        assert c.select_victim_where(lambda p: p % 2 == 1) == 21
+        # A plain sweep would have consumed 10's and 30's second chances;
+        # the filtered sweep must not touch them.
+        assert self._refbit(c, 10)
+        assert self._refbit(c, 30)
+
+    def test_matching_pages_keep_second_chance_semantics(self):
+        c = ClockReplacement(4)
+        c.insert(11, referenced=True)
+        c.insert(21, referenced=False)
+        # 11 is referenced: the sweep clears its bit and takes 21 first.
+        assert c.select_victim_where(lambda p: p % 2 == 1) == 21
+        assert not self._refbit(c, 11)
+        assert c.select_victim_where(lambda p: p % 2 == 1) == 11
+
+    def test_single_referenced_match_evicted_after_wrap(self):
+        c = ClockReplacement(4)
+        c.insert(10, referenced=True)
+        c.insert(21, referenced=True)
+        # Only 21 matches; first visit clears its bit, wrap evicts it.
+        assert c.select_victim_where(lambda p: p % 2 == 1) == 21
+        assert self._refbit(c, 10)

@@ -186,3 +186,44 @@ class TestStatsBinding:
         stats = RuntimeStats(t1_hits=3, t1_misses=1)
         reg = stats.bind_registry(None)
         assert reg.get("gmt_t1_hit_rate").value == 0.75
+
+
+class TestTenantLabelledSeries:
+    """Multi-tenant export: one Prometheus series per tenant per counter."""
+
+    def test_const_tenant_labels_keep_series_distinct(self):
+        from repro.obs.export import prometheus_text
+
+        slices = {"bfs": RuntimeStats(), "pagerank": RuntimeStats()}
+        slices["bfs"].t1_hits = 3
+        slices["pagerank"].t1_hits = 9
+        registries = [
+            stats.bind_registry(MetricsRegistry(const_labels={"tenant": name}))
+            for name, stats in slices.items()
+        ]
+        text = prometheus_text(registries)
+        assert 'gmt_t1_hits_total{tenant="bfs"} 3' in text
+        assert 'gmt_t1_hits_total{tenant="pagerank"} 9' in text
+        # One shared header, two samples.
+        assert text.count("# TYPE gmt_t1_hits_total counter") == 1
+
+    def test_server_registries_export_distinct_series(self):
+        from repro.experiments.harness import default_config
+        from repro.obs.export import prometheus_text
+        from repro.serve import TenantServer, build_tenants
+
+        config = default_config(8192)
+        streams = build_tenants(["hotspot", "pathfinder"], config)
+        server = TenantServer(config, streams)
+        server.run(solo_baselines=False)
+        text = prometheus_text(server.tenant_registries())
+        assert 'tenant="hotspot"' in text
+        assert 'tenant="pathfinder"' in text
+        # Both tenants sample the same counter on their own series.
+        hits = [
+            line
+            for line in text.splitlines()
+            if line.startswith("gmt_coalesced_accesses_total{")
+        ]
+        assert len(hits) == 2
+        assert len({line.split(" ")[0] for line in hits}) == 2

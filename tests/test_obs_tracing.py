@@ -158,3 +158,52 @@ class TestJsonlExport:
         assert write_jsonl(str(path), records) == 2
         lines = path.read_text().splitlines()
         assert [json.loads(line) for line in lines] == records
+
+
+class TestTenantTracks:
+    """Multi-tenant export: per-tenant Perfetto lanes."""
+
+    def _thread_names(self, events):
+        return {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+
+    def test_tenant_arg_splits_tracks(self):
+        t = SpanTracer()
+        t.record("miss", "access", 100.0, 10.0, tenant="bfs")
+        t.record("miss", "access", 200.0, 10.0, tenant="pagerank")
+        t.record("miss", "access", 300.0, 10.0, tenant="bfs")
+        events = chrome_trace_events({"serve": t})
+        names = self._thread_names(events)
+        assert sorted(names.values()) == ["miss [bfs]", "miss [pagerank]"]
+        # Spans land on their tenant's track.
+        by_track = {}
+        for e in events:
+            if e["name"] == "miss" and e.get("ph") == "X":
+                by_track.setdefault(names[e["tid"]], []).append(e)
+        assert len(by_track["miss [bfs]"]) == 2
+        assert len(by_track["miss [pagerank]"]) == 1
+
+    def test_untagged_spans_keep_plain_track(self):
+        t = SpanTracer()
+        t.record("evict", "evict", 100.0, 5.0)
+        t.record("evict", "evict", 200.0, 5.0, tenant="bfs")
+        events = chrome_trace_events({"serve": t})
+        names = self._thread_names(events)
+        assert sorted(names.values()) == ["evict", "evict [bfs]"]
+
+    def test_served_run_produces_tenant_lanes(self):
+        from repro.experiments.harness import default_config
+        from repro.serve import TenantServer, build_tenants
+
+        config = default_config(8192)
+        streams = build_tenants(["hotspot", "pathfinder"], config)
+        server = TenantServer(config, streams)
+        telemetry = server.attach_telemetry()
+        server.run(solo_baselines=False)
+        events = chrome_trace_events({telemetry.name: telemetry.tracer})
+        names = set(self._thread_names(events).values())
+        assert any(name.endswith("[hotspot]") for name in names)
+        assert any(name.endswith("[pathfinder]") for name in names)

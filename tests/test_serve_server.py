@@ -1,0 +1,257 @@
+"""End-to-end tests for the multi-tenant serving layer (repro.serve)."""
+
+import pytest
+
+from repro.core.runtime import GMTRuntime
+from repro.core.stats import RuntimeStats
+from repro.errors import ConfigError, SimulationError
+from repro.experiments.harness import default_config, get_workload
+from repro.serve import (
+    QuotaConfig,
+    SplitStats,
+    TenantServer,
+    TenantSpec,
+    build_tenants,
+    namespace_base,
+    owner_of_page,
+    split_frames,
+)
+
+SCALE = 8192  # tiny geometry: Tier-1 = 32 frames, Tier-2 = 128
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config(SCALE)
+
+
+def make_server(config, names, **kwargs):
+    streams = build_tenants(list(names), config)
+    return TenantServer(config, streams, **kwargs)
+
+
+class TestNamespacing:
+    def test_tenant_zero_is_identity(self):
+        assert namespace_base(0) == 0
+
+    def test_owner_roundtrip(self):
+        for tenant in (0, 1, 7, 400):
+            page = namespace_base(tenant) + 12345
+            assert owner_of_page(page) == tenant
+
+    def test_streams_never_alias(self, config):
+        streams = build_tenants(["bfs", "bfs"], config)
+        pages0 = {p for w in streams[0] for p in w.pages}
+        pages1 = {p for w in streams[1] for p in w.pages}
+        assert not pages0 & pages1
+
+
+class TestBuildTenants:
+    def test_duplicate_names_disambiguated(self, config):
+        streams = build_tenants(["bfs", "bfs", "bfs"], config)
+        assert [s.name for s in streams] == ["bfs", "bfs-2", "bfs-3"]
+
+    def test_working_set_is_shared(self, config):
+        solo = build_tenants(["bfs"], config)
+        pair = build_tenants(["bfs", "pagerank"], config)
+        assert pair[0].footprint_pages == solo[0].footprint_pages // 2
+
+    def test_empty_rejected(self, config):
+        with pytest.raises(ConfigError):
+            build_tenants([], config)
+
+    def test_specs_pass_through(self, config):
+        streams = build_tenants(
+            [TenantSpec(name="hot", workload="hotspot", weight=2.0, arrival=5)],
+            config,
+        )
+        assert streams[0].weight == 2.0
+        assert streams[0].arrival == 5
+
+
+class TestSoloReproduction:
+    """Acceptance: a 1-tenant serve run reproduces the single-stream
+    RunResult exactly."""
+
+    def test_matches_single_stream_run(self, config):
+        workload = get_workload("bfs", config)
+        solo = GMTRuntime(config).run(workload)
+        outcome = make_server(config, ["bfs"]).run(solo_baselines=False)
+        served = outcome.result
+        assert served.elapsed_ns == solo.elapsed_ns
+        for field in RuntimeStats.counter_names():
+            assert getattr(served.stats, field) == getattr(solo.stats, field), field
+
+    def test_solo_slowdown_is_one(self, config):
+        outcome = make_server(config, ["bfs"]).run()
+        assert outcome.tenants[0].slowdown == pytest.approx(1.0)
+        assert outcome.fairness()["jain_index"] == pytest.approx(1.0)
+
+
+class TestSharedRun:
+    @pytest.fixture(scope="class")
+    def outcome(self, config):
+        server = make_server(config, ["bfs", "pagerank"])
+        result = server.run()
+        return server, result
+
+    def test_tenant_slices_sum_to_aggregate(self, outcome):
+        server, result = outcome
+        aggregate = result.result.stats
+        assert isinstance(aggregate, SplitStats)
+        for field in RuntimeStats.counter_names():
+            total = sum(getattr(t.stats, field) for t in result.tenants)
+            assert total == getattr(aggregate, field), field
+
+    def test_every_tenant_issued_work(self, outcome):
+        _, result = outcome
+        for t in result.tenants:
+            assert t.issued_warps > 0
+            assert t.issued_bytes > 0
+
+    def test_finish_within_makespan(self, outcome):
+        _, result = outcome
+        for t in result.tenants:
+            assert 0 < t.finish_ns <= result.elapsed_ns + 1e-6
+
+    def test_slowdowns_and_fairness_reported(self, outcome):
+        _, result = outcome
+        fairness = result.fairness()
+        assert fairness["min_slowdown"] > 0
+        assert fairness["max_slowdown"] >= fairness["min_slowdown"]
+        assert 0 < fairness["jain_index"] <= 1.0
+
+    def test_table_renders(self, outcome):
+        _, result = outcome
+        text = result.to_table()
+        assert "bfs" in text and "pagerank" in text
+        assert "Jain" in text
+
+    def test_invariants_hold_after_run(self, outcome):
+        server, _ = outcome
+        server.runtime.check_invariants()
+
+
+class TestStaticQuotas:
+    """Acceptance: with static quotas no tenant's residency ever exceeds
+    its frame budget."""
+
+    @pytest.fixture(scope="class")
+    def served(self, config):
+        server = make_server(
+            config,
+            ["bfs", "pagerank"],
+            quota=QuotaConfig(mode="static"),
+        )
+        result = server.run(solo_baselines=False)
+        return server, result
+
+    def test_tier1_peaks_within_budget(self, served):
+        server, result = served
+        quotas = server.runtime.quotas
+        for t in result.tenants:
+            idx = result.tenants.index(t)
+            assert t.peak_tier1 <= quotas.static_tier1_budget(idx)
+            assert t.peak_tier1 == server.runtime.tier1.peak_owner_count(idx)
+
+    def test_tier2_peaks_within_budget(self, served):
+        server, result = served
+        quotas = server.runtime.quotas
+        for idx, t in enumerate(result.tenants):
+            assert t.peak_tier2 <= quotas.static_tier2_budget(idx)
+
+    def test_quota_machinery_engaged(self, served):
+        server, _ = served
+        stats = server.runtime.stats
+        assert stats.quota_evictions > 0 or stats.t2_quota_denials > 0
+
+    def test_budgets_partition_capacity(self, config, served):
+        server, _ = served
+        quotas = server.runtime.quotas
+        n = len(server.streams)
+        assert (
+            sum(quotas.static_tier1_budget(i) for i in range(n))
+            <= config.tier1_frames
+        )
+        assert (
+            sum(quotas.static_tier2_budget(i) for i in range(n))
+            <= config.tier2_frames
+        )
+
+
+class TestDynamicQuotas:
+    def test_fifo_lets_lone_tenant_exceed_static_share(self, config):
+        # Under FIFO the second tenant runs alone after the first drains;
+        # dynamic reclaim should let it grow past its static share.
+        server = make_server(
+            config,
+            ["bfs", "pagerank"],
+            discipline="fifo",
+            quota=QuotaConfig(mode="dynamic", idle_window=50),
+        )
+        result = server.run(solo_baselines=False)
+        quotas = server.runtime.quotas
+        grew = any(
+            t.peak_tier1 > quotas.static_tier1_budget(i)
+            for i, t in enumerate(result.tenants)
+        )
+        assert grew
+        # Physical capacity is still respected.
+        assert sum(server.runtime.tier1.owner_counts().values()) <= config.tier1_frames
+
+
+class TestValidation:
+    def test_unknown_discipline(self, config):
+        streams = build_tenants(["bfs"], config)
+        with pytest.raises(ConfigError):
+            TenantServer(config, streams, discipline="lottery")
+
+    def test_streams_must_be_indexed_in_order(self, config):
+        streams = build_tenants(["bfs", "pagerank"], config)
+        with pytest.raises(ConfigError):
+            TenantServer(config, list(reversed(streams)))
+
+    def test_no_streams(self, config):
+        with pytest.raises(ConfigError):
+            TenantServer(config, [])
+
+    def test_bad_quota_mode(self):
+        with pytest.raises(ConfigError):
+            QuotaConfig(mode="strict")
+
+    def test_zero_solo_baseline_raises(self, config):
+        outcome = make_server(config, ["bfs"]).run(solo_ns={0: 0.0})
+        with pytest.raises(SimulationError):
+            outcome.tenants[0].slowdown
+
+
+class TestSplitFrames:
+    def test_even_split(self):
+        assert split_frames(8, [1.0, 1.0]) == [4, 4]
+
+    def test_weighted_split_sums_to_capacity(self):
+        budgets = split_frames(10, [2.0, 1.0, 1.0])
+        assert sum(budgets) == 10
+        assert budgets[0] == 5
+
+    def test_everyone_gets_a_frame(self):
+        budgets = split_frames(4, [100.0, 1.0, 1.0])
+        assert min(budgets) >= 1
+        assert sum(budgets) <= 4
+
+    def test_too_few_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            split_frames(2, [1.0, 1.0, 1.0])
+
+    def test_zero_capacity(self):
+        assert split_frames(0, [1.0, 1.0]) == [0, 0]
+
+
+class TestTenantRegistries:
+    def test_one_registry_per_tenant_with_label(self, config):
+        server = make_server(config, ["bfs", "pagerank"])
+        server.run(solo_baselines=False)
+        registries = server.tenant_registries()
+        assert len(registries) == 2
+        labels = [r.const_labels["tenant"] for r in registries]
+        assert labels == ["bfs", "pagerank"]
