@@ -1,0 +1,96 @@
+"""Stable facade: one import surface for scripts and notebooks.
+
+Everything a downstream user of the reproduction needs, re-exported from
+one module so internal refactors never break callers:
+
+>>> from repro.api import RuntimeConfig, GMTRuntime, run_experiment
+>>> config = RuntimeConfig.paper_default(scale=1024)
+>>> results = run_experiment("fig9", scale=1024)
+
+The names here are covered by the compatibility promise in
+``docs/api.md``; prefer them over deep imports.
+
+- Runtime: :class:`GMTRuntime`, :class:`BamRuntime`, :class:`HmmRuntime`,
+  :class:`DragonRuntime`, :class:`RuntimeConfig` (alias of
+  :class:`GMTConfig`), :class:`RunResult`, :class:`RuntimeStats`.
+- Experiments: :class:`ExperimentSpec`, :func:`run_spec`,
+  :func:`run_experiment`, :data:`EXPERIMENTS`, :class:`ExperimentResult`.
+- Engine: :class:`Cell`, :class:`Engine`, :class:`ResultCache`,
+  :func:`run_cells` — the parallel, cache-aware executor behind the CLI.
+- Serving: :func:`serve` — one call from workload names to a
+  :class:`~repro.serve.server.ServeResult`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BamRuntime, DragonRuntime, HmmRuntime
+from repro.core import GMTConfig, GMTRuntime, RunResult, RuntimeStats
+from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Cell, Engine, EngineStats, ResultCache, run_cells
+from repro.experiments.harness import ExperimentResult, default_config
+from repro.experiments.runner import EXPERIMENTS, get_spec, run_experiment
+from repro.experiments.spec import CellResults, ExperimentSpec, run_spec
+from repro.sim import PlatformModel
+
+#: The configuration type under its role name.  ``RuntimeConfig`` is the
+#: stable alias; :class:`GMTConfig` remains for paper-flavoured code.
+RuntimeConfig = GMTConfig
+
+
+def serve(
+    tenants: list,
+    config: GMTConfig | None = None,
+    *,
+    scale: int = DEFAULT_SCALE,
+    discipline: str = "round-robin",
+    quota=None,
+    solo_baselines: bool = True,
+):
+    """Serve a tenant mix on one shared hierarchy; returns a ``ServeResult``.
+
+    Args:
+        tenants: workload names (``["bfs", "pagerank"]``) or
+            :class:`~repro.serve.stream.TenantSpec` entries.
+        config: hierarchy configuration; defaults to
+            ``default_config(scale)``.
+        scale: byte-scale divisor used when ``config`` is omitted.
+        discipline: interleaving discipline (``SCHEDULER_NAMES``).
+        quota: optional :class:`~repro.serve.quota.QuotaConfig`.
+        solo_baselines: also replay each stream solo so per-tenant
+            slowdowns and fairness are populated.
+    """
+    from repro.serve import TenantServer, build_tenants
+
+    if config is None:
+        config = default_config(scale)
+    streams = build_tenants(list(tenants), config)
+    server = TenantServer(config, streams, discipline=discipline, quota=quota)
+    return server.run(solo_baselines=solo_baselines)
+
+
+__all__ = [
+    "BamRuntime",
+    "Cell",
+    "CellResults",
+    "DEFAULT_SCALE",
+    "DragonRuntime",
+    "EXPERIMENTS",
+    "Engine",
+    "EngineStats",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "GMTConfig",
+    "GMTRuntime",
+    "HmmRuntime",
+    "PlatformModel",
+    "ResultCache",
+    "RunResult",
+    "RuntimeConfig",
+    "RuntimeStats",
+    "default_config",
+    "get_spec",
+    "run_cells",
+    "run_experiment",
+    "run_spec",
+    "serve",
+]

@@ -23,93 +23,156 @@ from dataclasses import replace
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.core.config import DEFAULT_SCALE
-from repro.core.oracle import run_with_oracle
-from repro.core.runtime import GMTRuntime
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
-    build_runtime,
     default_config,
-    get_workload,
-    run_app,
+    oracle_replay,
+    replay,
+    replay_on_trace,
 )
-from repro.workloads.registry import WORKLOAD_NAMES
+from repro.experiments.spec import ExperimentSpec, compat_run, run_spec
 
 #: Apps with enough reuse for the oracle comparison to be interesting.
 ORACLE_APPS = ("multivectoradd", "srad", "backprop", "pagerank", "hotspot")
 SSD_COUNTS = (1, 2, 4, 8)
 PREFETCH_APPS = ("pathfinder", "hotspot", "bfs")
+SSD_SCALING_APPS = ("srad", "backprop", "hotspot", "pagerank")
+MODEL_VALIDATION_APPS = ("lavamd", "multivectoradd", "srad", "pagerank", "hotspot")
 
 
-def run_oracle_gap(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+# ----------------------------------------------------------------------
+# Oracle gap
+# ----------------------------------------------------------------------
+def _oracle_cells(scale):
+    config = default_config(scale)
+    cells = []
+    for app in ORACLE_APPS:
+        cells.append(replay(app, "bam", config))
+        cells.append(replay(app, "reuse", config))
+        cells.append(oracle_replay(app, config))
+    return cells
+
+
+def _oracle_reduce(results, scale):
     config = default_config(scale)
     rows: list[list[object]] = []
     gaps: dict[str, float] = {}
     for app in ORACLE_APPS:
-        workload = get_workload(app, config)
-        bam = run_app(app, "bam", config)
-        reuse = run_app(app, "reuse", config)
-        oracle = run_with_oracle(config, workload)
+        bam = results[replay(app, "bam", config)]
+        reuse = results[replay(app, "reuse", config)]
+        oracle = results[oracle_replay(app, config)]
         s_reuse = reuse.speedup_over(bam)
         s_oracle = oracle.speedup_over(bam)
         gaps[app] = s_oracle / s_reuse
         rows.append([app_label(app), s_reuse, s_oracle, gaps[app]])
-    rows.append(
-        ["Average", "-", "-", arithmetic_mean(list(gaps.values()))]
-    )
-    return ExperimentResult(
-        name="ext-oracle",
-        title="Extension: GMT-Reuse vs its perfect-prediction oracle (speedup over BaM)",
-        headers=["app", "GMT-Reuse", "oracle", "oracle/reuse"],
-        rows=rows,
-        notes=[
-            "oracle = exact future RVTD + whole-trace Eq. 2 fit; same tiers,"
-            " heuristic, and transfer machinery",
-            "a ratio near 1 means prediction error is not the limiter",
-        ],
-        extras={"gaps": gaps},
-    )
+    rows.append(["Average", "-", "-", arithmetic_mean(list(gaps.values()))])
+    return [
+        ExperimentResult(
+            name="ext-oracle",
+            title="Extension: GMT-Reuse vs its perfect-prediction oracle (speedup over BaM)",
+            headers=["app", "GMT-Reuse", "oracle", "oracle/reuse"],
+            rows=rows,
+            notes=[
+                "oracle = exact future RVTD + whole-trace Eq. 2 fit; same tiers,"
+                " heuristic, and transfer machinery",
+                "a ratio near 1 means prediction error is not the limiter",
+            ],
+            extras={"gaps": gaps},
+        )
+    ]
 
 
-def run_ssd_scaling(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+ORACLE_SPEC = ExperimentSpec(
+    name="ext-oracle", cells=_oracle_cells, reduce=_oracle_reduce
+)
+
+
+def run_oracle_gap(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+    return run_spec(ORACLE_SPEC, scale=scale)[0]
+
+
+# ----------------------------------------------------------------------
+# SSD scaling
+# ----------------------------------------------------------------------
+def _ssd_configs(scale):
     base = default_config(scale)
+    return base, {
+        count: replace(base, platform=base.platform.with_ssd_array(count))
+        for count in SSD_COUNTS
+    }
+
+
+def _ssd_cells(scale):
+    base, configs = _ssd_configs(scale)
+    return [
+        replay_on_trace(app, kind, configs[count], base)  # same traces everywhere
+        for count in SSD_COUNTS
+        for app in SSD_SCALING_APPS
+        for kind in ("bam", "reuse")
+    ]
+
+
+def _ssd_reduce(results, scale):
+    base, configs = _ssd_configs(scale)
     rows: list[list[object]] = []
     means: dict[int, float] = {}
-    apps = ("srad", "backprop", "hotspot", "pagerank")
     for count in SSD_COUNTS:
-        config = replace(base, platform=base.platform.with_ssd_array(count))
+        config = configs[count]
         speedups = []
         bottlenecks = set()
-        for app in apps:
-            workload = get_workload(app, base)  # same traces at every count
-            bam = build_runtime("bam", config).run(workload)
-            reuse = build_runtime("reuse", config).run(workload)
+        for app in SSD_SCALING_APPS:
+            bam = results[replay_on_trace(app, "bam", config, base)]
+            reuse = results[replay_on_trace(app, "reuse", config, base)]
             speedups.append(reuse.speedup_over(bam))
             bottlenecks.add(reuse.breakdown.bottleneck)
         means[count] = arithmetic_mean(speedups)
         rows.append([count, means[count], ", ".join(sorted(bottlenecks))])
-    return ExperimentResult(
-        name="ext-ssd-scaling",
-        title="Extension: GMT-Reuse speedup over BaM vs SSD array size",
-        headers=["SSDs", "mean speedup (4 high-reuse apps)", "GMT bottlenecks"],
-        rows=rows,
-        notes=[
-            "Tier-2's value comes from relieving the SSD; enough drives"
-            " shift the bottleneck and shrink the gap"
-        ],
-        extras={"means": means},
-    )
+    return [
+        ExperimentResult(
+            name="ext-ssd-scaling",
+            title="Extension: GMT-Reuse speedup over BaM vs SSD array size",
+            headers=["SSDs", "mean speedup (4 high-reuse apps)", "GMT bottlenecks"],
+            rows=rows,
+            notes=[
+                "Tier-2's value comes from relieving the SSD; enough drives"
+                " shift the bottleneck and shrink the gap"
+            ],
+            extras={"means": means},
+        )
+    ]
 
 
-def run_prefetch_study(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+SSD_SPEC = ExperimentSpec(
+    name="ext-ssd-scaling", cells=_ssd_cells, reduce=_ssd_reduce
+)
+
+
+def run_ssd_scaling(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+    return run_spec(SSD_SPEC, scale=scale)[0]
+
+
+# ----------------------------------------------------------------------
+# Prefetch study
+# ----------------------------------------------------------------------
+def _prefetch_cells(scale):
     base = default_config(scale)
+    pf_config = replace(base, prefetch_degree=4)
+    cells = []
+    for app in PREFETCH_APPS:
+        cells.append(replay(app, "reuse", base))
+        cells.append(replay(app, "reuse", pf_config))
+    return cells
+
+
+def _prefetch_reduce(results, scale):
+    base = default_config(scale)
+    pf_config = replace(base, prefetch_degree=4)
     rows: list[list[object]] = []
     deltas: dict[str, float] = {}
     for app in PREFETCH_APPS:
-        workload = get_workload(app, base)
-        plain = GMTRuntime(base).run(workload)
-        pf_config = replace(base, prefetch_degree=4)
-        prefetch = GMTRuntime(pf_config).run(workload)
+        plain = results[replay(app, "reuse", base)]
+        prefetch = results[replay(app, "reuse", pf_config)]
         stats = prefetch.stats
         deltas[app] = prefetch.elapsed_ns / plain.elapsed_ns
         rows.append(
@@ -121,21 +184,50 @@ def run_prefetch_study(scale: int = DEFAULT_SCALE) -> ExperimentResult:
                 stats.ssd_page_reads / max(1, plain.stats.ssd_page_reads),
             ]
         )
-    return ExperimentResult(
-        name="ext-prefetch",
-        title="Extension: adding a sequential prefetcher to GMT-Reuse (degree 4)",
-        headers=["app", "time vs no-prefetch", "issued", "accuracy", "SSD reads ratio"],
-        rows=rows,
-        notes=[
-            "in the SSD-bandwidth-bound regime prefetching trades latency"
-            " (plentiful, thanks to fault parallelism) for bandwidth"
-            " (scarce) — demand-only movement, as the paper chose, wins"
-        ],
-        extras={"time_ratios": deltas},
-    )
+    return [
+        ExperimentResult(
+            name="ext-prefetch",
+            title="Extension: adding a sequential prefetcher to GMT-Reuse (degree 4)",
+            headers=["app", "time vs no-prefetch", "issued", "accuracy", "SSD reads ratio"],
+            rows=rows,
+            notes=[
+                "in the SSD-bandwidth-bound regime prefetching trades latency"
+                " (plentiful, thanks to fault parallelism) for bandwidth"
+                " (scarce) — demand-only movement, as the paper chose, wins"
+            ],
+            extras={"time_ratios": deltas},
+        )
+    ]
 
 
-def run_model_validation(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+PREFETCH_SPEC = ExperimentSpec(
+    name="ext-prefetch", cells=_prefetch_cells, reduce=_prefetch_reduce
+)
+
+
+def run_prefetch_study(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+    return run_spec(PREFETCH_SPEC, scale=scale)[0]
+
+
+# ----------------------------------------------------------------------
+# Model validation
+# ----------------------------------------------------------------------
+def _model_configs(scale):
+    base = default_config(scale)
+    return {"analytic": base, "queueing": replace(base, time_model="queueing")}
+
+
+def _model_cells(scale):
+    configs = _model_configs(scale)
+    return [
+        replay(app, kind, config)
+        for app in MODEL_VALIDATION_APPS
+        for config in configs.values()
+        for kind in ("bam", "reuse")
+    ]
+
+
+def _model_reduce(results, scale):
     """Analytic (roofline) vs queueing time model, same runs.
 
     Where bandwidth binds (the paper's single-SSD platform) the two agree
@@ -144,39 +236,68 @@ def run_model_validation(scale: int = DEFAULT_SCALE) -> ExperimentResult:
     the queueing model shows the *extra* serialization the roofline's
     averaged fault term understates.
     """
-    base = default_config(scale)
-    queueing = replace(base, time_model="queueing")
+    configs = _model_configs(scale)
     rows: list[list[object]] = []
     ratios: dict[str, float] = {}
-    apps = ("lavamd", "multivectoradd", "srad", "pagerank", "hotspot")
-    for app in apps:
-        workload = get_workload(app, base)
+    for app in MODEL_VALIDATION_APPS:
         speeds = {}
-        for label, config in (("analytic", base), ("queueing", queueing)):
-            bam = build_runtime("bam", config).run(workload)
-            reuse = build_runtime("reuse", config).run(workload)
+        for label, config in configs.items():
+            bam = results[replay(app, "bam", config)]
+            reuse = results[replay(app, "reuse", config)]
             speeds[label] = reuse.speedup_over(bam)
         ratios[app] = speeds["queueing"] / speeds["analytic"]
         rows.append(
             [app_label(app), speeds["analytic"], speeds["queueing"], ratios[app]]
         )
-    return ExperimentResult(
-        name="ext-model-validation",
-        title="Extension: analytic vs queueing time model (GMT-Reuse speedup over BaM)",
-        headers=["app", "analytic", "queueing", "queueing/analytic"],
-        rows=rows,
-        notes=[
-            "agreement validates the roofline model on the paper's"
-            " bandwidth-bound platform"
-        ],
-        extras={"ratios": ratios},
-    )
-
-
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
     return [
-        run_oracle_gap(scale),
-        run_ssd_scaling(scale),
-        run_prefetch_study(scale),
-        run_model_validation(scale),
+        ExperimentResult(
+            name="ext-model-validation",
+            title="Extension: analytic vs queueing time model (GMT-Reuse speedup over BaM)",
+            headers=["app", "analytic", "queueing", "queueing/analytic"],
+            rows=rows,
+            notes=[
+                "agreement validates the roofline model on the paper's"
+                " bandwidth-bound platform"
+            ],
+            extras={"ratios": ratios},
+        )
     ]
+
+
+MODEL_SPEC = ExperimentSpec(
+    name="ext-model-validation", cells=_model_cells, reduce=_model_reduce
+)
+
+
+def run_model_validation(scale: int = DEFAULT_SCALE) -> ExperimentResult:
+    return run_spec(MODEL_SPEC, scale=scale)[0]
+
+
+# ----------------------------------------------------------------------
+# Combined spec
+# ----------------------------------------------------------------------
+_SUBSPECS = (ORACLE_SPEC, SSD_SPEC, PREFETCH_SPEC, MODEL_SPEC)
+
+
+def _cells(scale):
+    cells = []
+    for sub in _SUBSPECS:
+        cells.extend(sub.cells(scale))
+    return cells
+
+
+def _reduce(results, scale):
+    out = []
+    for sub in _SUBSPECS:
+        out.extend(sub.reduce(results, scale))
+    return out
+
+
+SPEC = ExperimentSpec(
+    name="extensions",
+    title="Oracle gap, SSD scaling, prefetching, model validation",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

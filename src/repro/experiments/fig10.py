@@ -10,33 +10,40 @@
 
 from __future__ import annotations
 
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_matrix,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import WORKLOAD_NAMES
 
 POLICIES = ("tier-order", "random", "reuse")
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def _cells(scale):
     config = default_config(scale)
-    matrix = run_matrix(config, kinds=("bam",) + POLICIES)
+    return [
+        replay(app, kind, config)
+        for app in WORKLOAD_NAMES
+        for kind in ("bam",) + POLICIES
+    ]
+
+
+def _reduce(results, scale):
+    config = default_config(scale)
 
     wasteful_rows: list[list[object]] = []
     traffic_rows: list[list[object]] = []
     wasteful: dict[str, list[float]] = {p: [] for p in POLICIES}
 
     for app in WORKLOAD_NAMES:
-        runs = matrix[app]
-        bam_transfers = runs["bam"].stats.ssd_page_ios
+        bam_transfers = results[replay(app, "bam", config)].stats.ssd_page_ios
         wrow: list[object] = [app_label(app)]
         trow: list[object] = [app_label(app)]
         for policy in POLICIES:
-            stats = runs[policy].stats
+            stats = results[replay(app, policy, config)].stats
             frac = 100.0 * stats.wasteful_lookup_fraction
             wasteful[policy].append(frac)
             wrow.append(frac)
@@ -70,3 +77,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
         rows=traffic_rows,
     )
     return [fig10a, fig10b]
+
+
+SPEC = ExperimentSpec(
+    name="fig10",
+    title="Tier-2 overheads: wasteful lookups and placement traffic",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -10,36 +10,48 @@ shrink (more of the working set is SSD-bound) but GMT-Reuse stays ahead
 from __future__ import annotations
 
 from repro.analysis.metrics import arithmetic_mean
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_app,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import GRAPH_WORKLOADS, WORKLOAD_NAMES
 
 POLICIES = ("tier-order", "random", "reuse")
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
-    config = default_config(scale)
-    half_config = default_config(scale * 2)  # halved Tier-1/Tier-2 frames
+def _app_config(app: str, scale: int):
+    """(config, oversubscription) for one app — the two routes to 4x."""
+    if app in GRAPH_WORKLOADS:
+        # Same dataset, half the memory: footprint(oversub=4, half
+        # tiers) equals footprint(oversub=2, full tiers).
+        return default_config(scale * 2), 4.0
+    # Same memory, double the dataset.
+    return default_config(scale), 4.0
 
+
+def _cells(scale):
+    cells = []
+    for app in WORKLOAD_NAMES:
+        cfg, oversub = _app_config(app, scale)
+        for kind in ("bam",) + POLICIES:
+            cells.append(replay(app, kind, cfg, oversubscription=oversub))
+    return cells
+
+
+def _reduce(results, scale):
     rows: list[list[object]] = []
     speedups: dict[str, list[float]] = {p: [] for p in POLICIES}
     for app in WORKLOAD_NAMES:
-        if app in GRAPH_WORKLOADS:
-            # Same dataset, half the memory: footprint(oversub=4, half
-            # tiers) equals footprint(oversub=2, full tiers).
-            cfg, oversub = half_config, 4.0
-        else:
-            # Same memory, double the dataset.
-            cfg, oversub = config, 4.0
-        bam = run_app(app, "bam", cfg, oversubscription=oversub)
+        cfg, oversub = _app_config(app, scale)
+        bam = results[replay(app, "bam", cfg, oversubscription=oversub)]
         row: list[object] = [app_label(app)]
         for policy in POLICIES:
-            s = run_app(app, policy, cfg, oversubscription=oversub).speedup_over(bam)
+            s = results[
+                replay(app, policy, cfg, oversubscription=oversub)
+            ].speedup_over(bam)
             speedups[policy].append(s)
             row.append(s)
         rows.append(row)
@@ -56,3 +68,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"speedups": speedups, "means": means},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig11",
+    title="Speedups at over-subscription factor 4",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

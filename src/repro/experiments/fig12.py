@@ -11,31 +11,49 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_app_with_footprint,
+    replay_with_footprint,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import WORKLOAD_NAMES
 
 RATIOS = (2, 4, 8)
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def _geometry(scale):
     base = default_config(scale)
     # Dataset fixed at the default geometry's working set.
     footprint = base.working_set_frames()
+    configs = {
+        ratio: replace(base, tier2_frames=base.tier1_frames * ratio)
+        for ratio in RATIOS
+    }
+    return footprint, configs
 
+
+def _cells(scale):
+    footprint, configs = _geometry(scale)
+    return [
+        replay_with_footprint(app, kind, configs[ratio], footprint)
+        for app in WORKLOAD_NAMES
+        for ratio in RATIOS
+        for kind in ("bam", "reuse")
+    ]
+
+
+def _reduce(results, scale):
+    footprint, configs = _geometry(scale)
     rows: list[list[object]] = []
     series: dict[int, list[float]] = {r: [] for r in RATIOS}
     for app in WORKLOAD_NAMES:
         row: list[object] = [app_label(app)]
         for ratio in RATIOS:
-            cfg = replace(base, tier2_frames=base.tier1_frames * ratio)
-            bam = run_app_with_footprint(app, "bam", cfg, footprint)
-            reuse = run_app_with_footprint(app, "reuse", cfg, footprint)
+            cfg = configs[ratio]
+            bam = results[replay_with_footprint(app, "bam", cfg, footprint)]
+            reuse = results[replay_with_footprint(app, "reuse", cfg, footprint)]
             s = reuse.speedup_over(bam)
             series[ratio].append(s)
             row.append(s)
@@ -53,3 +71,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"series": series},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig12",
+    title="Tier-2:Tier-1 ratio sensitivity (fixed dataset)",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -9,13 +9,14 @@ GMT-TierOrder, by 20% and 35%, respectively)".
 from __future__ import annotations
 
 from repro.analysis.metrics import arithmetic_mean
-from repro.core.config import DEFAULT_SCALE, PAPER_TIER1_BYTES
+from repro.core.config import PAPER_TIER1_BYTES
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_app,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import GRAPH_WORKLOADS, WORKLOAD_NAMES
 
 POLICIES = ("tier-order", "random", "reuse")
@@ -23,16 +24,28 @@ POLICIES = ("tier-order", "random", "reuse")
 NON_GRAPH_APPS = tuple(a for a in WORKLOAD_NAMES if a not in GRAPH_WORKLOADS)
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
-    config = default_config(scale, tier1_bytes=2 * PAPER_TIER1_BYTES)
+def _config(scale):
+    return default_config(scale, tier1_bytes=2 * PAPER_TIER1_BYTES)
 
+
+def _cells(scale):
+    config = _config(scale)
+    return [
+        replay(app, kind, config)
+        for app in NON_GRAPH_APPS
+        for kind in ("bam",) + POLICIES
+    ]
+
+
+def _reduce(results, scale):
+    config = _config(scale)
     rows: list[list[object]] = []
     speedups: dict[str, list[float]] = {p: [] for p in POLICIES}
     for app in NON_GRAPH_APPS:
-        bam = run_app(app, "bam", config)
+        bam = results[replay(app, "bam", config)]
         row: list[object] = [app_label(app)]
         for policy in POLICIES:
-            s = run_app(app, policy, config).speedup_over(bam)
+            s = results[replay(app, policy, config)].speedup_over(bam)
             speedups[policy].append(s)
             row.append(s)
         rows.append(row)
@@ -52,3 +65,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"speedups": speedups, "means": means},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig13",
+    title="Doubled Tier-1 geometry, non-graph applications",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

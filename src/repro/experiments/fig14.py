@@ -14,17 +14,24 @@ from __future__ import annotations
 
 from repro.analysis.metrics import arithmetic_mean
 from repro.baselines.hmm import optimistic_hmm_breakdown
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_app,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import WORKLOAD_NAMES
 
+KINDS = ("bam", "hmm", "reuse")
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+
+def _cells(scale):
+    config = default_config(scale)
+    return [replay(app, kind, config) for app in WORKLOAD_NAMES for kind in KINDS]
+
+
+def _reduce(results, scale):
     config = default_config(scale)
 
     rows: list[list[object]] = []
@@ -33,9 +40,9 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
     reuse_over_hmm: list[float] = []
     reuse_over_optimistic: list[float] = []
     for app in WORKLOAD_NAMES:
-        bam = run_app(app, "bam", config)
-        hmm = run_app(app, "hmm", config)
-        reuse = run_app(app, "reuse", config)
+        bam = results[replay(app, "bam", config)]
+        hmm = results[replay(app, "hmm", config)]
+        reuse = results[replay(app, "reuse", config)]
         optimistic_ns = optimistic_hmm_breakdown(reuse, config).elapsed_ns
         hmm_speedups.append(hmm.speedup_over(bam))
         reuse_speedups.append(reuse.speedup_over(bam))
@@ -85,3 +92,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"means": means},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig14",
+    title="GPU vs CPU orchestration (HMM comparison)",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.analysis.characterize import collect_eviction_rrds, vtd_rd_correlation
-from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
+from repro.experiments.spec import ExperimentSpec, compat_run
 
 APPS = ("multivectoradd", "pagerank")
 
@@ -55,6 +55,8 @@ def eviction_series_fractions(
 ) -> dict[str, float]:
     """Fractions of pages whose eviction-RRD series is constant /
     alternating / other (pages with >= ``min_evictions`` resolved RRDs)."""
+    from repro.analysis.characterize import collect_eviction_rrds
+
     analysis = collect_eviction_rrds(workload, tier1_frames)
     per_page: dict[int, list[int]] = defaultdict(list)
     for page, rrd in analysis.rrds:
@@ -75,19 +77,67 @@ def eviction_series_fractions(
     }
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def correlation_cell(app, config) -> dict[str, float]:
+    """Cell body: Figure 4(a) VTD-vs-RD correlation scalars."""
+    from repro.analysis.characterize import vtd_rd_correlation
+
+    # Instrumented runs characterise the application's intrinsic
+    # pattern, so the in-flight-warp jitter is disabled.
+    workload = get_workload(app, config, jitter_warps=0)
+    corr = vtd_rd_correlation(workload, max_samples=50_000)
+    return {
+        "name": workload.name,
+        "samples": corr.samples,
+        "pearson_r": corr.pearson_r,
+        "m": corr.model.m,
+        "b": corr.model.b,
+    }
+
+
+def series_cell(app, config) -> dict[str, object]:
+    """Cell body: Figure 4(b/c) per-page eviction-RRD pattern fractions."""
+    workload = get_workload(app, config, jitter_warps=0)
+    return {
+        "name": workload.name,
+        "fractions": eviction_series_fractions(workload, config.tier1_frames),
+    }
+
+
+def _corr(app, config) -> Cell:
+    return Cell.make(
+        "repro.experiments.fig4:correlation_cell",
+        label=f"{app}/vtd-rd-corr",
+        app=app,
+        config=config,
+    )
+
+
+def _series(app, config) -> Cell:
+    return Cell.make(
+        "repro.experiments.fig4:series_cell",
+        label=f"{app}/rrd-series",
+        app=app,
+        config=config,
+    )
+
+
+def _cells(scale):
+    config = default_config(scale)
+    return [_corr(app, config) for app in APPS] + [
+        _series(app, config) for app in APPS
+    ]
+
+
+def _reduce(results, scale):
     config = default_config(scale)
 
     corr_rows: list[list[object]] = []
     correlations: dict[str, float] = {}
     for app in APPS:
-        # Instrumented runs characterise the application's intrinsic
-        # pattern, so the in-flight-warp jitter is disabled.
-        workload = get_workload(app, config, jitter_warps=0)
-        corr = vtd_rd_correlation(workload, max_samples=50_000)
-        correlations[app] = corr.pearson_r
+        corr = results[_corr(app, config)]
+        correlations[app] = corr["pearson_r"]
         corr_rows.append(
-            [workload.name, corr.samples, corr.pearson_r, corr.model.m, corr.model.b]
+            [corr["name"], corr["samples"], corr["pearson_r"], corr["m"], corr["b"]]
         )
     fig4a = ExperimentResult(
         name="fig4a",
@@ -101,12 +151,12 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
     series_rows: list[list[object]] = []
     series_fracs: dict[str, dict[str, float]] = {}
     for app in APPS:
-        workload = get_workload(app, config, jitter_warps=0)
-        fr = eviction_series_fractions(workload, config.tier1_frames)
+        cell = results[_series(app, config)]
+        fr = cell["fractions"]
         series_fracs[app] = fr
         series_rows.append(
             [
-                workload.name,
+                cell["name"],
                 fr["pages"],
                 100 * fr["constant"],
                 100 * fr["alternating"],
@@ -124,3 +174,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
         extras={"series_fractions": series_fracs},
     )
     return [fig4a, fig4bc]
+
+
+SPEC = ExperimentSpec(
+    name="fig4",
+    title="VTD/RD correlation and eviction-RRD patterns",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

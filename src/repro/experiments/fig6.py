@@ -14,19 +14,23 @@
 
 from __future__ import annotations
 
-from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.sim.transfer import (
     DmaEngine,
-    HybridEngine,
     TransferEngine,
     ZeroCopyEngine,
+    make_engine,
 )
 from repro.units import GiB, PAGE_SIZE, SEC
 from repro.workloads.synthetic import ZipfAccessGenerator
 
 PAGE_COUNTS = (1, 2, 4, 6, 8, 12, 16, 24, 32, 64)
 SKEWS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: The Figure 6(b) engine line-up as ``make_engine`` specs.
+ENGINE_SPECS = ("dma", "zero-copy", "hybrid-8t", "hybrid-16t", "hybrid-32t")
 
 
 def crossover_pages(
@@ -89,8 +93,28 @@ def zipf_delivered_bandwidth(
     return total_bytes / (total_ns / SEC)
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def bandwidth_cell(engine_spec: str, skew: float, seed: int = 7) -> float:
+    """Cell body: delivered GiB/s of one engine at one zipf skew."""
+    return zipf_delivered_bandwidth(make_engine(engine_spec), skew, seed=seed) / GiB
+
+
+def _bandwidth(engine_spec: str, skew: float) -> Cell:
+    return Cell.make(
+        "repro.experiments.fig6:bandwidth_cell",
+        label=f"{engine_spec}@zipf{skew}",
+        engine_spec=engine_spec,
+        skew=float(skew),
+        seed=7,
+    )
+
+
+def _cells(scale):
     del scale  # the transfer microbenchmarks are scale-independent
+    return [_bandwidth(spec, skew) for skew in SKEWS for spec in ENGINE_SPECS]
+
+
+def _reduce(results, scale):
+    del scale
     dma = DmaEngine()
     zero_copy = ZeroCopyEngine()
 
@@ -113,28 +137,32 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
         extras={"crossover": cross},
     )
 
-    engines: list[TransferEngine] = [
-        dma,
-        zero_copy,
-        HybridEngine(min_threads=8),
-        HybridEngine(min_threads=16),
-        HybridEngine(min_threads=32),
-    ]
+    names = [make_engine(spec).name for spec in ENGINE_SPECS]
     bw_rows: list[list[object]] = []
-    series: dict[str, list[float]] = {e.name: [] for e in engines}
+    series: dict[str, list[float]] = {name: [] for name in names}
     for skew in SKEWS:
         row: list[object] = [skew]
-        for engine in engines:
-            bw = zipf_delivered_bandwidth(engine, skew) / GiB
-            series[engine.name].append(bw)
+        for spec, name in zip(ENGINE_SPECS, names):
+            bw = results[_bandwidth(spec, skew)]
+            series[name].append(bw)
             row.append(bw)
         bw_rows.append(row)
     fig6b = ExperimentResult(
         name="fig6b",
         title="Figure 6(b): delivered bandwidth (GiB/s) for zipf page accesses",
-        headers=["skew"] + [e.name for e in engines],
+        headers=["skew"] + names,
         rows=bw_rows,
         notes=["paper: Hybrid-32T does (or is close to) the best across skews"],
         extras={"series": series},
     )
     return [fig6a, fig6b]
+
+
+SPEC = ExperimentSpec(
+    name="fig6",
+    title="Transfer engine microbenchmarks",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

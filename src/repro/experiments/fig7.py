@@ -12,38 +12,62 @@ clock evictions (the eviction view the predictor acts on).
 
 from __future__ import annotations
 
-from repro.analysis.characterize import (
-    characterize_workload,
-    collect_access_rds,
-    collect_eviction_rrds,
-)
-from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.reuse.classifier import ReuseClass
 from repro.workloads.registry import WORKLOAD_NAMES, workload_class
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def classes_cell(app, config) -> dict[str, object]:
+    """Cell body: reuse % and S/M/L class fractions (both views)."""
+    from repro.analysis.characterize import (
+        characterize_workload,
+        collect_access_rds,
+        collect_eviction_rrds,
+    )
+
+    # Instrumented characterisation runs in program order (the
+    # in-flight-warp jitter is an execution effect, not an application
+    # property), matching the paper's instrumented runs.
+    workload = get_workload(app, config, jitter_warps=0)
+    ch = characterize_workload(workload)
+    access = collect_access_rds(workload, config.tier1_frames, config.tier2_frames)
+    evict = collect_eviction_rrds(workload, config.tier1_frames, config.tier2_frames)
+    return {
+        "reuse_percent": ch.reuse_percent,
+        "access": access.class_fractions(),
+        "evict": evict.class_fractions(),
+    }
+
+
+def _classes(app, config) -> Cell:
+    return Cell.make(
+        "repro.experiments.fig7:classes_cell",
+        label=f"{app}/rrd-classes",
+        app=app,
+        config=config,
+    )
+
+
+def _cells(scale):
+    config = default_config(scale)
+    return [_classes(app, config) for app in WORKLOAD_NAMES]
+
+
+def _reduce(results, scale):
     config = default_config(scale)
     rows: list[list[object]] = []
     fractions: dict[str, dict[ReuseClass, float]] = {}
     for app in WORKLOAD_NAMES:
-        # Instrumented characterisation runs in program order (the
-        # in-flight-warp jitter is an execution effect, not an application
-        # property), matching the paper's instrumented runs.
-        workload = get_workload(app, config, jitter_warps=0)
-        ch = characterize_workload(workload)
-        access = collect_access_rds(workload, config.tier1_frames, config.tier2_frames)
-        evict = collect_eviction_rrds(
-            workload, config.tier1_frames, config.tier2_frames
-        )
-        af = access.class_fractions()
-        ef = evict.class_fractions()
+        cell = results[_classes(app, config)]
+        af = cell["access"]
+        ef = cell["evict"]
         fractions[app] = af
         rows.append(
             [
                 workload_class(app).name,
-                ch.reuse_percent,
+                cell["reuse_percent"],
                 100 * af[ReuseClass.SHORT],
                 100 * af[ReuseClass.MEDIUM],
                 100 * af[ReuseClass.LONG],
@@ -73,3 +97,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"access_fractions": fractions},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig7",
+    title="RRD class distributions per application",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -9,21 +9,29 @@
 from __future__ import annotations
 
 from repro.analysis.metrics import arithmetic_mean
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_matrix,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import WORKLOAD_NAMES
 
 POLICIES = ("tier-order", "random", "reuse")
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def _cells(scale):
     config = default_config(scale)
-    matrix = run_matrix(config, kinds=("bam",) + POLICIES)
+    return [
+        replay(app, kind, config)
+        for app in WORKLOAD_NAMES
+        for kind in ("bam",) + POLICIES
+    ]
+
+
+def _reduce(results, scale):
+    config = default_config(scale)
 
     speedup_rows: list[list[object]] = []
     io_rows: list[list[object]] = []
@@ -31,12 +39,11 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
     io_ratios: dict[str, list[float]] = {p: [] for p in POLICIES}
 
     for app in WORKLOAD_NAMES:
-        runs = matrix[app]
-        bam = runs["bam"]
+        bam = results[replay(app, "bam", config)]
         srow: list[object] = [app_label(app)]
         iorow: list[object] = [app_label(app)]
         for policy in POLICIES:
-            result = runs[policy]
+            result = results[replay(app, policy, config)]
             s = result.speedup_over(bam)
             speedups[policy].append(s)
             srow.append(s)
@@ -75,3 +82,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
         extras={"io_ratios": io_ratios},
     )
     return [fig8a, fig8b]
+
+
+SPEC = ExperimentSpec(
+    name="fig8",
+    title="Headline speedups and SSD I/O vs BaM",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -9,22 +9,27 @@ history — both properties this harness checks.
 
 from __future__ import annotations
 
-from repro.core.config import DEFAULT_SCALE
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
     default_config,
-    run_app,
+    replay,
 )
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.workloads.registry import WORKLOAD_NAMES
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def _cells(scale):
+    config = default_config(scale)
+    return [replay(app, "reuse", config) for app in WORKLOAD_NAMES]
+
+
+def _reduce(results, scale):
     config = default_config(scale)
     rows: list[list[object]] = []
     accuracies: dict[str, float] = {}
     for app in WORKLOAD_NAMES:
-        stats = run_app(app, "reuse", config).stats
+        stats = results[replay(app, "reuse", config)].stats
         accuracies[app] = stats.prediction_accuracy
         rows.append(
             [
@@ -44,3 +49,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"accuracies": accuracies},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="fig9",
+    title="GMT-Reuse prediction accuracy per application",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -241,9 +241,149 @@ def run_matrix(
 
 
 def clear_caches() -> None:
-    """Drop cached workloads and runs (tests use this for isolation)."""
+    """Drop cached workloads, runs and engine memo (test isolation)."""
+    from repro.experiments.engine import clear_memo
+
     _workload_cache.clear()
     _run_cache.clear()
+    clear_memo()
+
+
+# ----------------------------------------------------------------------
+# Engine cells: the canonical cell builders every experiment spec uses.
+# Building cells through these helpers (rather than Cell.make directly)
+# normalises the parameters, so overlapping sweeps — fig8/fig9/fig10/
+# fig14 share most of their replay matrix — collapse onto identical
+# cache keys.
+# ----------------------------------------------------------------------
+def replay_cell(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> RunResult:
+    """Cell body: one app x runtime replay (see :func:`run_app`)."""
+    return run_app(app, kind, config, oversubscription, seed)
+
+
+def replay_footprint_cell(
+    app: str, kind: str, config: GMTConfig, footprint_pages: int, seed: int = 0
+) -> RunResult:
+    """Cell body: replay at an explicit footprint (Figure 12 sweeps)."""
+    return run_app_with_footprint(app, kind, config, footprint_pages, seed)
+
+
+def replay_on_trace_cell(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    trace_config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> RunResult:
+    """Cell body: run ``kind`` under ``config`` on the trace generated
+    from ``trace_config`` — sweeps that vary a knob while holding the
+    dataset fixed (SSD scaling, model validation, sweep_config)."""
+    workload = get_workload(app, trace_config, oversubscription, seed=seed)
+    return build_runtime(kind, config).run(workload)
+
+
+def oracle_cell(
+    app: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> RunResult:
+    """Cell body: the Belady-style perfect-prediction upper bound."""
+    from repro.core.oracle import run_with_oracle
+
+    workload = get_workload(app, config, oversubscription, seed=seed)
+    return run_with_oracle(config, workload)
+
+
+def replay(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+):
+    """The canonical replay :class:`~repro.experiments.engine.Cell`."""
+    from repro.experiments.engine import Cell
+
+    app = normalize_name(app)
+    return Cell.make(
+        "repro.experiments.harness:replay_cell",
+        label=f"{app}/{kind}",
+        app=app,
+        kind=kind,
+        config=config,
+        oversubscription=float(oversubscription),
+        seed=int(seed),
+    )
+
+
+def replay_with_footprint(
+    app: str, kind: str, config: GMTConfig, footprint_pages: int, seed: int = 0
+):
+    """Replay cell at an explicit footprint."""
+    from repro.experiments.engine import Cell
+
+    app = normalize_name(app)
+    return Cell.make(
+        "repro.experiments.harness:replay_footprint_cell",
+        label=f"{app}/{kind}@{footprint_pages}p",
+        app=app,
+        kind=kind,
+        config=config,
+        footprint_pages=int(footprint_pages),
+        seed=int(seed),
+    )
+
+
+def replay_on_trace(
+    app: str,
+    kind: str,
+    config: GMTConfig,
+    trace_config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+):
+    """Replay cell with the trace pinned to ``trace_config``."""
+    from repro.experiments.engine import Cell
+
+    app = normalize_name(app)
+    return Cell.make(
+        "repro.experiments.harness:replay_on_trace_cell",
+        label=f"{app}/{kind}(fixed-trace)",
+        app=app,
+        kind=kind,
+        config=config,
+        trace_config=trace_config,
+        oversubscription=float(oversubscription),
+        seed=int(seed),
+    )
+
+
+def oracle_replay(
+    app: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+):
+    """Oracle (perfect-prediction) replay cell."""
+    from repro.experiments.engine import Cell
+
+    app = normalize_name(app)
+    return Cell.make(
+        "repro.experiments.harness:oracle_cell",
+        label=f"{app}/oracle",
+        app=app,
+        config=config,
+        oversubscription=float(oversubscription),
+        seed=int(seed),
+    )
 
 
 def app_label(app: str) -> str:

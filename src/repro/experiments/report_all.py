@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 
 from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Engine, ResultCache
 from repro.experiments.harness import default_config
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.units import format_bytes
@@ -54,17 +55,19 @@ def generate_report(
     scale: int = DEFAULT_SCALE,
     path: str | Path | None = None,
     experiments: tuple[str, ...] | None = None,
+    engine: Engine | None = None,
 ) -> str:
     """Run ``experiments`` (default: all) and return the markdown report.
 
-    Writes to ``path`` when given.  Results are cached per process, so a
+    Writes to ``path`` when given.  Results are cached per process (and,
+    when ``engine`` carries a :class:`ResultCache`, on disk), so a
     report after a benchmark session is nearly free.
     """
     names = experiments if experiments is not None else EXPERIMENTS
     sections = [_header(scale)]
     for name in names:
         start = time.time()
-        results = run_experiment(name, scale)
+        results = run_experiment(name, scale, engine=engine)
         body = "\n\n".join(f"```\n{r.to_text()}\n```" for r in results)
         sections.append(
             f"## {name}\n\n{body}\n\n*regenerated in {time.time() - start:.1f}s*\n"
@@ -90,11 +93,25 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"subset to run (default all: {', '.join(EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes for cells"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache location"
+    )
     args = parser.parse_args(argv)
+    engine = Engine(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+    )
     text = generate_report(
         scale=args.scale,
         path=args.output,
         experiments=tuple(args.experiments) if args.experiments else None,
+        engine=engine,
     )
     if args.output is None:
         print(text)

@@ -3,8 +3,16 @@
 Usage::
 
     python -m repro.experiments fig8 fig9 --scale 256
-    python -m repro.experiments all
-    gmt-experiments table2
+    python -m repro.experiments all --jobs 8
+    gmt-experiments table2 --no-cache
+
+Experiments are registered declaratively: every module under
+``repro.experiments`` exports an
+:class:`~repro.experiments.spec.ExperimentSpec`, and the CLI executes its
+cells on the :mod:`~repro.experiments.engine` — in parallel with
+``--jobs N``, backed by the content-addressed on-disk result cache
+(``--cache-dir``, ``--no-cache``, ``--force``).  Interrupted ``all``
+runs are resumable: completed cells are served from the cache.
 """
 
 from __future__ import annotations
@@ -15,7 +23,10 @@ import sys
 import time
 
 from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Engine, ResultCache
+from repro.experiments.spec import ExperimentSpec, run_spec
 
+#: Registry of experiment names — each maps to a module exporting SPEC.
 EXPERIMENTS = (
     "table2",
     "fig4",
@@ -33,14 +44,26 @@ EXPERIMENTS = (
 )
 
 
-def run_experiment(name: str, scale: int) -> list:
-    """Import and run one experiment module; returns its results."""
+def get_spec(name: str) -> ExperimentSpec:
+    """The registered :class:`ExperimentSpec` for ``name``.
+
+    Raises ``SystemExit`` for unknown names (CLI contract).
+    """
     if name not in EXPERIMENTS:
         raise SystemExit(
             f"unknown experiment {name!r}; choose from: {', '.join(EXPERIMENTS)}"
         )
     module = importlib.import_module(f"repro.experiments.{name}")
-    return module.run(scale=scale)
+    return module.SPEC
+
+
+def run_experiment(name: str, scale: int, engine: Engine | None = None) -> list:
+    """Run one experiment through the engine; returns its results."""
+    return run_spec(get_spec(name), scale=scale, engine=engine)
+
+
+def _progress_printer(line: str) -> None:
+    print(line, file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,6 +83,30 @@ def main(argv: list[str] | None = None) -> int:
         help=f"byte-scale divisor vs the paper's platform (default {DEFAULT_SCALE})",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for cell execution (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk result cache location (default ~/.cache/gmt-results, "
+        "or $GMT_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute every cell even when cached (results are re-stored)",
+    )
+    parser.add_argument(
         "--telemetry-dir",
         metavar="DIR",
         default=None,
@@ -74,13 +121,49 @@ def main(argv: list[str] | None = None) -> int:
         set_telemetry_dir(args.telemetry_dir)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    # Validate every name up-front so a typo fails before hours of work.
+    specs = {name: get_spec(name) for name in names}
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    engine = Engine(
+        jobs=args.jobs,
+        cache=cache,
+        force=args.force,
+        progress=_progress_printer,
+        telemetry_dir=args.telemetry_dir,
+    )
+
+    failures: dict[str, Exception] = {}
     for name in names:
         start = time.time()
-        results = run_experiment(name, args.scale)
+        try:
+            results = run_spec(specs[name], scale=args.scale, engine=engine)
+        except KeyboardInterrupt:
+            print(
+                f"\n[interrupted during {name}; completed cells are cached — "
+                "rerun the same command to resume]",
+                file=sys.stderr,
+            )
+            raise
+        except Exception as exc:  # collect, keep going, fail at the end
+            failures[name] = exc
+            print(f"[{name} FAILED: {type(exc).__name__}: {exc}]\n", file=sys.stderr)
+            continue
         for result in results:
             print(result.to_text())
             print()
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+
+    print(f"[engine] {engine.stats.summary()}")
+    if failures:
+        summary = ", ".join(
+            f"{name} ({type(exc).__name__})" for name, exc in failures.items()
+        )
+        print(
+            f"[{len(failures)}/{len(names)} experiments failed: {summary}]",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -9,21 +9,18 @@ every scheduling discipline x quota mode combination and compares:
 - per-tenant slowdown versus a solo replay of the same stream,
 - fairness (min/max slowdown and Jain's index over normalised service).
 
-The solo baselines are replayed once and shared across all combinations
-(they depend only on the config, not on the discipline or quotas).
+The solo baselines are their own cells, replayed once and shared across
+all combinations (they depend only on the config, not on the discipline
+or quotas).
 """
 
 from __future__ import annotations
 
-from repro.core.config import DEFAULT_SCALE
+from functools import lru_cache
+
+from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config
-from repro.serve import (
-    QUOTA_MODES,
-    SCHEDULER_NAMES,
-    QuotaConfig,
-    TenantServer,
-    build_tenants,
-)
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.units import format_time
 
 #: The served mix: a latency-sensitive graph traversal, an iterative
@@ -32,43 +29,100 @@ from repro.units import format_time
 MIX = ("bfs", "pagerank", "hotspot")
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
-    config = default_config(scale)
-    streams = build_tenants(list(MIX), config)
+@lru_cache(maxsize=8)
+def _streams(mix: tuple, config):
+    """Per-process stream cache: building tenants regenerates workloads,
+    which is the expensive part — every cell in this module shares it."""
+    from repro.serve import build_tenants
 
-    # Solo baselines once, shared by every combination below.
+    return build_tenants(list(mix), config)
+
+
+def solo_cell(config, mix: tuple, index: int) -> float:
+    """Cell body: solo elapsed time (ns) of one tenant's stream."""
+    from repro.serve import TenantServer
+
+    streams = _streams(tuple(mix), config)
     probe = TenantServer(config, streams)
-    solo_ns = {s.index: probe.solo_run(s).elapsed_ns for s in streams}
+    return probe.solo_run(streams[index]).elapsed_ns
+
+
+def combo_cell(config, mix: tuple, discipline: str, mode: str):
+    """Cell body: one discipline x quota-mode served run (no solo
+    baselines — those are separate, shared cells)."""
+    from repro.serve import QuotaConfig, TenantServer
+
+    streams = _streams(tuple(mix), config)
+    server = TenantServer(
+        config, streams, discipline=discipline, quota=QuotaConfig(mode=mode)
+    )
+    return server.run(solo_baselines=False)
+
+
+def _solo(config, index: int) -> Cell:
+    return Cell.make(
+        "repro.experiments.serve_mix:solo_cell",
+        label=f"{MIX[index]}/solo",
+        config=config,
+        mix=MIX,
+        index=index,
+    )
+
+
+def _combo(config, discipline: str, mode: str) -> Cell:
+    return Cell.make(
+        "repro.experiments.serve_mix:combo_cell",
+        label=f"serve {discipline}/{mode}",
+        config=config,
+        mix=MIX,
+        discipline=discipline,
+        mode=mode,
+    )
+
+
+def _combinations():
+    from repro.serve import QUOTA_MODES, SCHEDULER_NAMES
+
+    return [(d, m) for d in SCHEDULER_NAMES for m in QUOTA_MODES]
+
+
+def _cells(scale):
+    config = default_config(scale)
+    cells = [_solo(config, i) for i in range(len(MIX))]
+    cells += [_combo(config, d, m) for d, m in _combinations()]
+    return cells
+
+
+def _reduce(results, scale):
+    config = default_config(scale)
+    solo_ns = {i: results[_solo(config, i)] for i in range(len(MIX))}
 
     headers = ["discipline", "quotas", "makespan"]
-    headers += [f"{s.name} slowdown" for s in streams]
+    headers += [f"{name} slowdown" for name in MIX]
     headers += ["min", "max", "Jain"]
     rows: list[list[object]] = []
     outcomes: dict[tuple[str, str], object] = {}
 
-    for discipline in SCHEDULER_NAMES:
-        for mode in QUOTA_MODES:
-            server = TenantServer(
-                config,
-                streams,
-                discipline=discipline,
-                quota=QuotaConfig(mode=mode),
-            )
-            outcome = server.run(solo_ns=solo_ns)
-            outcomes[(discipline, mode)] = outcome
-            fairness = outcome.fairness()
-            row: list[object] = [
-                discipline,
-                mode,
-                format_time(outcome.elapsed_ns),
-            ]
-            row += [f"{t.slowdown:.2f}x" for t in outcome.tenants]
-            row += [
-                f"{fairness['min_slowdown']:.2f}x",
-                f"{fairness['max_slowdown']:.2f}x",
-                f"{fairness['jain_index']:.3f}",
-            ]
-            rows.append(row)
+    for discipline, mode in _combinations():
+        outcome = results[_combo(config, discipline, mode)]
+        # The combo cells skip solo baselines (they are shared cells);
+        # graft them back so slowdown/fairness read as before.
+        for position, tenant in enumerate(outcome.tenants):
+            tenant.solo_ns = solo_ns[position]
+        outcomes[(discipline, mode)] = outcome
+        fairness = outcome.fairness()
+        row: list[object] = [
+            discipline,
+            mode,
+            format_time(outcome.elapsed_ns),
+        ]
+        row += [f"{t.slowdown:.2f}x" for t in outcome.tenants]
+        row += [
+            f"{fairness['min_slowdown']:.2f}x",
+            f"{fairness['max_slowdown']:.2f}x",
+            f"{fairness['jain_index']:.3f}",
+        ]
+        rows.append(row)
 
     notes = [
         "slowdown = shared completion time / solo elapsed time of the same stream",
@@ -88,3 +142,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"outcomes": outcomes, "solo_ns": solo_ns},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="serve_mix",
+    title="Multi-tenant discipline x quota sweep",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

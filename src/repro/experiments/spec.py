@@ -1,0 +1,101 @@
+"""The declarative experiment protocol: ``SPEC = ExperimentSpec(...)``.
+
+An experiment is two pure functions around a set of cells:
+
+- ``cells(scale) -> [Cell, ...]`` — the independent work units (see
+  :mod:`repro.experiments.engine`); overlapping specs may emit the same
+  cells, which the engine deduplicates and caches across experiments.
+- ``reduce(results, scale) -> [ExperimentResult, ...]`` — folds the cell
+  values into the paper's tables/figures.  ``results`` is a
+  :class:`CellResults` indexed by the same :class:`Cell` objects, so the
+  reduce step rebuilds cells through the very helpers that emitted them.
+
+Every experiment module exports ``SPEC`` and keeps a thin, deprecated
+``run(scale=...)`` shim (:func:`compat_run`) for the old ad-hoc
+convention.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.config import DEFAULT_SCALE
+from repro.errors import ConfigError
+from repro.experiments.engine import Cell, Engine
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declaratively described experiment.
+
+    Attributes:
+        name: registry key (``"fig8"``, ``"table2"``, ...).
+        cells: ``scale -> sequence of cells`` (pure; no side effects).
+        reduce: folds a :class:`CellResults` into ``ExperimentResult``s.
+        title: one-line description for ``--list`` style output.
+    """
+
+    name: str
+    cells: Callable[[int], Sequence[Cell]]
+    reduce: Callable[["CellResults", int], list]
+    title: str = ""
+
+
+class CellResults(Mapping):
+    """Cell-indexed view of an engine run's values."""
+
+    def __init__(self, values: dict[Cell, object]) -> None:
+        self._values = values
+
+    def __getitem__(self, cell: Cell):
+        try:
+            return self._values[cell]
+        except KeyError:
+            raise ConfigError(
+                f"reduce asked for a cell the spec never emitted: {cell!r}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    scale: int = DEFAULT_SCALE,
+    engine: Engine | None = None,
+) -> list:
+    """Execute ``spec`` at ``scale`` and return its reduced results.
+
+    With no ``engine``, cells run serially with in-process memoisation
+    only — the exact behaviour of the old per-module ``run()``.  Pass an
+    :class:`~repro.experiments.engine.Engine` for parallel execution and
+    the on-disk cache.
+    """
+    engine = engine if engine is not None else Engine()
+    cells = list(spec.cells(scale))
+    values = engine.run_cells(cells, group=spec.name)
+    return spec.reduce(CellResults(values), scale)
+
+
+def compat_run(spec: ExperimentSpec) -> Callable[..., list]:
+    """The deprecated ``run(scale=...)`` shim for one spec."""
+
+    def run(scale: int = DEFAULT_SCALE) -> list:
+        warnings.warn(
+            f"{spec.name}.run(scale=...) is deprecated; use "
+            f"repro.experiments.spec.run_spec({spec.name}.SPEC, scale=...) "
+            "or the gmt-experiments CLI",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return run_spec(spec, scale=scale)
+
+    run.__doc__ = (
+        f"Deprecated shim: regenerate {spec.name} serially via its SPEC."
+    )
+    return run

@@ -21,12 +21,12 @@ from dataclasses import replace
 from repro.analysis.metrics import arithmetic_mean
 from repro.core.config import DEFAULT_SCALE, GMTConfig
 from repro.errors import ConfigError
+from repro.experiments.engine import Engine
 from repro.experiments.harness import (
     ExperimentResult,
     app_label,
-    build_runtime,
     default_config,
-    get_workload,
+    replay_on_trace,
 )
 
 
@@ -68,6 +68,7 @@ def sweep_config(
     baseline_kind: str = "bam",
     scale: int = DEFAULT_SCALE,
     vary_baseline: bool = True,
+    engine: Engine | None = None,
 ) -> ExperimentResult:
     """Speedup of ``kind`` over ``baseline_kind`` across ``values``.
 
@@ -78,6 +79,10 @@ def sweep_config(
         vary_baseline: if True the baseline is re-run per value (the knob
             affects it too, e.g. a platform constant); if False the
             baseline uses the unmodified config (policy-only knobs).
+        engine: optional :class:`~repro.experiments.engine.Engine` — the
+            sweep's replays are engine cells, so ``Engine(jobs=N)`` runs
+            the whole grid in parallel and a cache-backed engine makes
+            repeated sweeps near-free.
 
     Returns:
         An :class:`ExperimentResult` with one row per sweep value and a
@@ -87,18 +92,31 @@ def sweep_config(
     if not values:
         raise ConfigError("sweep needs at least one value")
     base = default_config(scale)
+    engine = engine if engine is not None else Engine()
+
+    def cells_for(value):
+        config = apply_override(base, field, value)
+        baseline_config = config if vary_baseline else base
+        return {
+            app: (
+                replay_on_trace(app, baseline_kind, baseline_config, base),
+                replay_on_trace(app, kind, config, base),  # fixed traces
+            )
+            for app in apps
+        }
+
+    grid = {value: cells_for(value) for value in values}
+    all_cells = [c for per_app in grid.values() for pair in per_app.values() for c in pair]
+    results = engine.run_cells(all_cells, group=f"sweep-{field}")
+
     rows: list[list[object]] = []
     means: dict[object, float] = {}
     for value in values:
-        config = apply_override(base, field, value)
-        baseline_config = config if vary_baseline else base
         speedups = []
         row: list[object] = [value]
         for app in apps:
-            workload = get_workload(app, base)  # fixed traces across values
-            baseline = build_runtime(baseline_kind, baseline_config).run(workload)
-            result = build_runtime(kind, config).run(workload)
-            s = result.speedup_over(baseline)
+            baseline_cell, result_cell = grid[value][app]
+            s = results[result_cell].speedup_over(results[baseline_cell])
             speedups.append(s)
             row.append(s)
         means[value] = arithmetic_mean(speedups)

@@ -8,9 +8,9 @@ Table 2's GB column.
 
 from __future__ import annotations
 
-from repro.analysis.characterize import characterize_workload
-from repro.core.config import DEFAULT_SCALE
+from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
+from repro.experiments.spec import ExperimentSpec, compat_run
 from repro.units import GiB
 from repro.workloads.registry import WORKLOAD_NAMES, workload_class
 
@@ -40,23 +40,48 @@ PAPER_TOTAL_IO_GB = {
 }
 
 
-def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
+def characterize_cell(app, config) -> dict[str, float]:
+    """Cell body: trace characterisation scalars for one application."""
+    from repro.analysis.characterize import characterize_workload
+
+    workload = get_workload(app, config)
+    ch = characterize_workload(workload)
+    return {
+        "reuse_percent": ch.reuse_percent,
+        "total_io_bytes": ch.total_io_bytes(config.page_size),
+    }
+
+
+def _characterize(app, config) -> Cell:
+    return Cell.make(
+        "repro.experiments.table2:characterize_cell",
+        label=f"{app}/characterize",
+        app=app,
+        config=config,
+    )
+
+
+def _cells(scale):
+    config = default_config(scale)
+    return [_characterize(app, config) for app in WORKLOAD_NAMES]
+
+
+def _reduce(results, scale):
     config = default_config(scale)
     rows: list[list[object]] = []
     measured: dict[str, dict[str, float]] = {}
     for app in WORKLOAD_NAMES:
-        workload = get_workload(app, config)
-        ch = characterize_workload(workload)
-        io_gb_paper_scale = ch.total_io_bytes(config.page_size) * scale / GiB
+        ch = results[_characterize(app, config)]
+        io_gb_paper_scale = ch["total_io_bytes"] * scale / GiB
         measured[app] = {
-            "reuse_percent": ch.reuse_percent,
+            "reuse_percent": ch["reuse_percent"],
             "io_gb_paper_scale": io_gb_paper_scale,
         }
         rows.append(
             [
                 workload_class(app).name,
                 workload_class(app).description,
-                ch.reuse_percent,
+                ch["reuse_percent"],
                 PAPER_REUSE_PERCENT[app],
                 io_gb_paper_scale,
                 PAPER_TOTAL_IO_GB[app],
@@ -78,3 +103,13 @@ def run(scale: int = DEFAULT_SCALE) -> list[ExperimentResult]:
             extras={"measured": measured},
         )
     ]
+
+
+SPEC = ExperimentSpec(
+    name="table2",
+    title="Application suite characteristics",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)
