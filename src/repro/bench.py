@@ -1,0 +1,234 @@
+"""``gmt-bench`` — record & gate performance baselines.
+
+Replays a small fixed matrix of (workload, runtime) cells and captures
+two families of numbers per cell:
+
+- **simulated metrics** — modelled elapsed ns, SSD traffic, hit/miss
+  counters.  These are fully deterministic for a given (scale, seed), so
+  the gate compares them with a *strict* tolerance: any drift means the
+  simulator's behaviour changed.
+- **wall-clock** — host seconds spent replaying the cell.  Noisy by
+  nature (CI machines, thermal state), so it is compared with a
+  *generous* multiplicative tolerance and only catches order-of-magnitude
+  slowdowns (an accidental O(n^2) in the hot loop, a debug recorder left
+  enabled by default).
+
+Workflow::
+
+    gmt-bench --out benchmarks/BENCH_baseline.json        # record
+    gmt-bench --check --baseline benchmarks/BENCH_baseline.json
+
+``--check`` exits non-zero when any cell regresses, printing one line
+per violated budget.  CI runs the check on every push (the ``bench-gate``
+job); refresh the committed baseline in the same PR as an intentional
+performance or behaviour change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+#: Module-level clock hook so tests can inject artificial slowdown
+#: (monkeypatching ``time.perf_counter`` directly would skew pytest
+#: itself; patching ``repro.bench._clock`` only affects the bench).
+_clock = time.perf_counter
+
+#: The fixed cell matrix: small enough for CI, wide enough to cover the
+#: BaM baseline and the full reuse pipeline on two access patterns.
+DEFAULT_CELLS: tuple[tuple[str, str], ...] = (
+    ("hotspot", "bam"),
+    ("hotspot", "reuse"),
+    ("bfs", "bam"),
+    ("bfs", "reuse"),
+)
+
+#: Deterministic per-cell metrics captured from the replay.  Checked
+#: with the strict tolerance.
+SIM_METRICS = (
+    "elapsed_ns",
+    "ssd_io_bytes",
+    "t1_hits",
+    "t1_misses",
+    "ssd_page_reads",
+    "ssd_page_writes",
+)
+
+BASELINE_VERSION = 1
+
+
+def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
+    """Replay one cell and return its metric record (wall_s last)."""
+    from repro.experiments.harness import build_runtime, default_config, get_workload
+
+    config = default_config(scale)
+    workload = get_workload(app, config, seed=seed)
+    runtime = build_runtime(kind, config)
+    start = _clock()
+    result = runtime.run(workload)
+    wall_s = _clock() - start
+    record = {
+        "elapsed_ns": float(result.elapsed_ns),
+        "ssd_io_bytes": float(result.ssd_io_bytes),
+        "t1_hits": float(result.stats.t1_hits),
+        "t1_misses": float(result.stats.t1_misses),
+        "ssd_page_reads": float(result.stats.ssd_page_reads),
+        "ssd_page_writes": float(result.stats.ssd_page_writes),
+        "wall_s": wall_s,
+    }
+    return record
+
+
+def run_bench(
+    cells: tuple[tuple[str, str], ...] = DEFAULT_CELLS,
+    scale: int = 4096,
+    seed: int = 0,
+) -> dict:
+    """Replay every cell; returns the baseline document (JSON-ready)."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "cells": {},
+    }
+    for app, kind in cells:
+        doc["cells"][f"{app}/{kind}"] = run_cell(app, kind, scale, seed)
+    return doc
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.01,
+    wall_tolerance: float = 5.0,
+) -> list[str]:
+    """Budgets violated by ``current`` vs ``baseline`` (empty = pass).
+
+    Simulated metrics may drift by at most ``tolerance`` (relative, both
+    directions — a silent *improvement* in a deterministic metric is
+    still an unexplained behaviour change).  ``wall_s`` may grow by at
+    most a factor of ``1 + wall_tolerance`` and never fails on getting
+    faster.
+    """
+    problems: list[str] = []
+    if baseline.get("scale") != current.get("scale") or baseline.get(
+        "seed"
+    ) != current.get("seed"):
+        problems.append(
+            "baseline geometry mismatch: recorded at "
+            f"scale={baseline.get('scale')} seed={baseline.get('seed')}, "
+            f"checking at scale={current.get('scale')} seed={current.get('seed')}"
+        )
+        return problems
+    for cell, base in baseline.get("cells", {}).items():
+        cur = current.get("cells", {}).get(cell)
+        if cur is None:
+            problems.append(f"{cell}: missing from current run")
+            continue
+        for metric in SIM_METRICS:
+            want, got = base.get(metric), cur.get(metric)
+            if want is None or got is None:
+                continue
+            limit = tolerance * max(abs(want), 1.0)
+            if abs(got - want) > limit:
+                problems.append(
+                    f"{cell}: {metric} drifted {want:g} -> {got:g} "
+                    f"(tolerance {tolerance:.2%})"
+                )
+        want, got = base.get("wall_s"), cur.get("wall_s")
+        if want is not None and got is not None:
+            ceiling = want * (1.0 + wall_tolerance)
+            if got > ceiling and got - want > 0.05:  # ignore micro-run jitter
+                problems.append(
+                    f"{cell}: wall_s regressed {want:.3f}s -> {got:.3f}s "
+                    f"(budget {ceiling:.3f}s = baseline x{1.0 + wall_tolerance:g})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``gmt-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="gmt-bench",
+        description="Record or check the perf-regression baseline",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the recorded baseline JSON to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="benchmarks/BENCH_baseline.json",
+        help="baseline file for --check (default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative drift allowed on simulated metrics (default 0.01)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=5.0,
+        help="allowed wall-clock growth factor minus one (default 5.0 "
+        "= fail beyond 6x the baseline)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=4096, help="byte-scale divisor (default 4096)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    args = parser.parse_args(argv)
+
+    doc = run_bench(scale=args.scale, seed=args.seed)
+    for cell, record in doc["cells"].items():
+        print(
+            f"{cell:>16}: elapsed {record['elapsed_ns'] / 1e6:10.2f} ms (simulated), "
+            f"wall {record['wall_s'] * 1e3:8.1f} ms"
+        )
+
+    if args.check:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except FileNotFoundError:
+            print(f"gmt-bench: baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        problems = compare(
+            baseline,
+            doc,
+            tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance,
+        )
+        if problems:
+            print(f"FAIL: {len(problems)} budget(s) violated vs {args.baseline}")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"PASS: all cells within budget vs {args.baseline}")
+
+    if args.out is not None:
+        import os
+
+        parent = os.path.dirname(args.out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke entry
+    sys.exit(main())

@@ -7,8 +7,14 @@
 ``gmt-serve``         — serve a mix of tenant workloads over one shared
                         hierarchy (:mod:`repro.serve`): per-tenant
                         results, slowdown vs solo, fairness.
+``gmt-why``           — causal diagnosis over the page-lifecycle flight
+                        recorder (:mod:`repro.obs.lifecycle`): why an
+                        access missed, a page's tier journey, the
+                        costliest mispredictions, residency, anomalies.
 ``gmt-experiments``   — regenerate paper tables/figures
                         (:mod:`repro.experiments.runner`).
+``gmt-bench``         — record / gate the perf baseline
+                        (:mod:`repro.bench`).
 
 All tools take ``--scale`` (byte-scale divisor vs the paper's platform)
 and a Table 2 workload name.
@@ -88,19 +94,37 @@ def main_sim(argv: list[str] | None = None) -> int:
         help="write a Prometheus text-format metrics snapshot of all "
         "runtimes to PATH",
     )
+    parser.add_argument(
+        "--lifecycle-out",
+        metavar="PATH",
+        default=None,
+        help="record page-lifecycle events (flight recorder) and write "
+        "them to PATH as JSONL (one file, 'kind' key tells runtimes "
+        "apart; feed back via gmt-why --from)",
+    )
     args = parser.parse_args(argv)
 
     config = default_config(args.scale, platform=get_platform(args.platform))
     workload = get_workload(
         args.workload, config, oversubscription=args.oversubscription, seed=args.seed
     )
-    telemetry_on = args.trace_out is not None or args.metrics_out is not None
+    telemetry_on = (
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or args.lifecycle_out is not None
+    )
     telemetries = []
     results = {}
     for kind in args.runtimes:
         runtime = build_runtime(kind, config)
         if telemetry_on:
-            telemetries.append(runtime.attach_telemetry())
+            from repro.obs import Telemetry
+
+            telemetries.append(
+                runtime.attach_telemetry(
+                    Telemetry(lifecycle=args.lifecycle_out is not None)
+                )
+            )
         results[RUNTIME_LABELS[kind]] = runtime.run(workload)
     baseline = RUNTIME_LABELS["bam"] if "bam" in args.runtimes else None
     print(
@@ -126,6 +150,18 @@ def main_sim(argv: list[str] | None = None) -> int:
 
         write_prometheus(args.metrics_out, [t.registry for t in telemetries])
         print(f"wrote Prometheus snapshot to {args.metrics_out}")
+    if args.lifecycle_out is not None:
+        import json
+
+        count = 0
+        with open(args.lifecycle_out, "w", encoding="utf-8") as fh:
+            for kind, telemetry in zip(args.runtimes, telemetries):
+                if telemetry.lifecycle is None:
+                    continue
+                for event in telemetry.lifecycle.events():
+                    fh.write(json.dumps({**event.to_dict(), "runtime": kind}) + "\n")
+                    count += 1
+        print(f"wrote {count} lifecycle events to {args.lifecycle_out}")
     return 0
 
 
@@ -315,6 +351,186 @@ def main_serve(argv: list[str] | None = None) -> int:
             args.metrics_out, [telemetry.registry] + server.tenant_registries()
         )
         print(f"wrote Prometheus snapshot to {args.metrics_out}")
+    return 0
+
+
+def main_why(argv: list[str] | None = None) -> int:
+    """Entry point for ``gmt-why`` — causal lifecycle diagnosis.
+
+    Replays the workload with the flight recorder enabled (deterministic,
+    so the answers are reproducible), then runs one query::
+
+        gmt-why hotspot page 713         # page 713's full tier journey
+        gmt-why hotspot miss 2197        # why did access 2197 miss?
+        gmt-why hotspot top --k 5        # costliest mispredictions
+        gmt-why hotspot residency        # per-tier residency distribution
+        gmt-why hotspot outcomes         # predicted-vs-actual tally
+        gmt-why hotspot anomalies        # thrash/bypass/latency windows
+
+    ``--from FILE`` answers from a previously exported JSONL (see
+    ``gmt-sim --lifecycle-out`` / ``--record-out``) instead of replaying.
+    """
+    parser = _common_parser(
+        "gmt-why", "Causal queries over the page-lifecycle flight recorder"
+    )
+    parser.add_argument(
+        "query",
+        choices=["page", "miss", "top", "residency", "outcomes", "anomalies"],
+        help="what to explain",
+    )
+    parser.add_argument(
+        "arg",
+        nargs="?",
+        type=int,
+        default=None,
+        help="page id (for 'page') or access index (for 'miss')",
+    )
+    parser.add_argument(
+        "--runtime",
+        default="reuse",
+        choices=["tier-order", "random", "reuse"],
+        help="GMT policy variant to replay (default: reuse)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=200_000,
+        help="flight-recorder ring capacity (default 200000)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=2_000,
+        help="snapshot window (accesses) for the anomaly scan (default 2000)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=10, help="rows for the 'top' query (default 10)"
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        default=None,
+        help="answer from an exported lifecycle JSONL instead of replaying",
+    )
+    parser.add_argument(
+        "--record-out",
+        metavar="PATH",
+        default=None,
+        help="also export the recorded lifecycle events to PATH as JSONL",
+    )
+    args = parser.parse_args(argv)
+
+    if args.query in ("page", "miss") and args.arg is None:
+        parser.error(f"'{args.query}' needs an argument (gmt-why W {args.query} <n>)")
+    if args.from_file is not None and args.query == "anomalies":
+        parser.error("'anomalies' scans snapshot windows and needs a live replay")
+
+    from repro.obs import LifecycleQuery
+    from repro.obs.lifecycle import load_lifecycle_jsonl, write_lifecycle_jsonl
+
+    windows: list[dict] = []
+    page_size = default_config(args.scale).page_size
+    if args.from_file is not None:
+        events = load_lifecycle_jsonl(args.from_file)
+    else:
+        from repro.obs import Telemetry
+
+        config = default_config(args.scale)
+        workload = get_workload(
+            args.workload,
+            config,
+            oversubscription=args.oversubscription,
+            seed=args.seed,
+        )
+        runtime = build_runtime(args.runtime, config)
+        telemetry = Telemetry(window=args.window, lifecycle=args.capacity)
+        runtime.attach_telemetry(telemetry)
+        runtime.run(workload)
+        events = telemetry.lifecycle.events()
+        windows = telemetry.windows()
+        if telemetry.lifecycle.dropped:
+            print(
+                f"note: ring dropped {telemetry.lifecycle.dropped} oldest events "
+                f"(capacity {args.capacity}; raise --capacity for full history)"
+            )
+        if args.record_out is not None:
+            count = write_lifecycle_jsonl(args.record_out, events)
+            print(f"wrote {count} lifecycle events to {args.record_out}")
+
+    query = LifecycleQuery(events)
+    if args.query == "page":
+        print(query.explain_page(args.arg))
+    elif args.query == "miss":
+        answer = query.explain_miss(args.arg)
+        if answer is None:
+            nearest = query.nearest_fill(args.arg)
+            hint = (
+                f"; nearest recorded fill is at access {nearest.access} (page {nearest.page})"
+                if nearest is not None
+                else ""
+            )
+            print(f"access {args.arg}: no recorded Tier-1 fill — it hit, or rotated out of the ring{hint}")
+        else:
+            print(answer)
+    elif args.query == "top":
+        costs = query.top_misprediction_costs(args.k)
+        if not costs:
+            print("no misprediction charges on record (no bypass-then-refault page)")
+        else:
+            rows = [
+                [
+                    c.page,
+                    c.refaults,
+                    c.writebacks,
+                    format_bytes(c.ssd_bytes(page_size)),
+                    ",".join(f"{k}:{v}" for k, v in sorted(c.predicted.items())),
+                ]
+                for c in costs
+            ]
+            print(
+                render_table(
+                    ["page", "refaults", "writebacks", "SSD I/O", "predicted"],
+                    rows,
+                    title=f"top {len(rows)} pages by misprediction-charged SSD I/O",
+                )
+            )
+    elif args.query == "residency":
+        rows = [
+            [tier, s["count"], f"{s['mean']:.1f}", f"{s['p50']:.0f}", f"{s['max']:.0f}"]
+            for tier, s in sorted(query.residency_summary().items())
+        ]
+        print(
+            render_table(
+                ["tier", "stays", "mean", "p50", "max"],
+                rows,
+                title="per-tier residency (completed stays, coalesced-access units)",
+            )
+        )
+    elif args.query == "outcomes":
+        tally = query.prediction_outcomes()
+        if not tally:
+            print("no RESOLVE events on record (policy without prediction resolution?)")
+        else:
+            total = sum(tally.values())
+            rows = [
+                [cause, count, f"{count / total:.1%}"]
+                for cause, count in sorted(tally.items(), key=lambda kv: -kv[1])
+            ]
+            print(render_table(["outcome", "count", "share"], rows,
+                               title="placement-prediction outcomes (RESOLVE events)"))
+    elif args.query == "anomalies":
+        from repro.obs import AnomalyDetector
+
+        anomalies = AnomalyDetector().scan(windows)
+        if not anomalies:
+            print(f"no anomalies over {len(windows)} windows of {args.window} accesses")
+        else:
+            for anomaly in anomalies:
+                print(
+                    f"[window {anomaly.window} @access {anomaly.position}] "
+                    f"{anomaly.rule}: {anomaly.message}"
+                )
     return 0
 
 

@@ -203,6 +203,24 @@ class ReusePolicy(PlacementPolicy):
             self.telemetry.instant(
                 "markov-resolve", "reuse", page=state.page, actual=actual.name
             )
+            lifecycle = getattr(self.telemetry, "lifecycle", None)
+            if lifecycle is not None:
+                # Join point for predicted-vs-actual per page: the flight
+                # recorder learns what the earlier placement *should* have
+                # predicted, the moment the truth is known.
+                from repro.obs.lifecycle import LifecycleKind
+
+                cause = "unresolved"
+                if pending is not None:
+                    cause = "correct" if pending is actual else "mispredicted"
+                lifecycle.emit(
+                    LifecycleKind.RESOLVE,
+                    state.page,
+                    self.stats.coalesced_accesses,
+                    cause=cause,
+                    predicted=None if pending is None else pending.name.lower(),
+                    detail=actual.name.lower(),
+                )
 
     def choose(self, state: PageState) -> PlacementPlan:
         last_correct = state.policy_state.get(self._LAST_CORRECT)

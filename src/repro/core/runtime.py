@@ -36,6 +36,7 @@ from repro.mem.page import PageLocation, PageState
 from repro.mem.page_table import PageTable
 from repro.mem.tier import Tier
 from repro.mem.tier2_order import Tier2Clock, Tier2Fifo
+from repro.obs.lifecycle import LifecycleKind
 from repro.reuse.vtd import VirtualTimestampClock
 from repro.sim.cost import CostBreakdown, CostModel
 from repro.sim.gpu import WarpAccess, coalesce
@@ -140,6 +141,15 @@ class GMTRuntime:
         #: null-sink fast path: each emission point costs one attribute
         #: check and nothing else.
         self._obs = None
+        #: Optional page-lifecycle flight recorder (see
+        #: :mod:`repro.obs.lifecycle`).  Same discipline: None is the
+        #: default and each emission site costs one attribute check.
+        self._flight = None
+        #: Scratch: the cause/prediction behind the eviction currently in
+        #: flight (set by ``_ensure_tier1_frame``, read by the placement
+        #: leaves so DEMOTE/BYPASS events carry the policy's reasoning).
+        self._fx_cause = ""
+        self._fx_predicted: str | None = None
         #: Queueing time model, built lazily (subclasses adjust the
         #: orchestration parameters it reads after construction).
         self._queueing = None
@@ -223,12 +233,40 @@ class GMTRuntime:
             self._obs = None
 
     # ------------------------------------------------------------------
+    # page-lifecycle flight recorder (optional, see repro.obs.lifecycle)
+    # ------------------------------------------------------------------
+    def attach_flight_recorder(self, capacity: int | None = 100_000, recorder=None):
+        """Start recording page-lifecycle events; returns the recorder.
+
+        Standalone alternative to ``attach_telemetry(Telemetry(lifecycle=...))``
+        when only the lifecycle log is wanted.  Bounded drop-oldest ring;
+        detach with :meth:`detach_flight_recorder`.
+        """
+        if recorder is None:
+            from repro.obs.lifecycle import LifecycleRecorder
+
+            recorder = LifecycleRecorder(capacity=capacity)
+        if recorder.clock is None:
+            cost = self.cost
+            recorder.clock = lambda: cost.compute_ns + cost.fault_latency_ns
+        self._flight = recorder
+        return recorder
+
+    def detach_flight_recorder(self) -> None:
+        """Stop lifecycle recording (the recorder keeps its events)."""
+        self._flight = None
+
+    # ------------------------------------------------------------------
     # access path
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[WarpAccess]) -> RunResult:
         """Replay a trace of warp accesses and return the run's result."""
         for warp in trace:
             self.access_warp(warp)
+        if self._obs is not None:
+            # Flush the final partial snapshot window; without this the
+            # tail of the replay drops out of telemetry.windows().
+            self._obs.finish()
         return self.result()
 
     def access_warp(self, warp: WarpAccess) -> None:
@@ -296,6 +334,12 @@ class GMTRuntime:
             if obs is not None:
                 obs.span("t2-fetch", "tier2",
                          platform.host_fetch_latency_ns + self._t2_move_ns, page=page)
+            if self._flight is not None:
+                self._flight.emit(
+                    LifecycleKind.PROMOTE, page, self.stats.coalesced_accesses,
+                    "T2", "T1", "demand-miss",
+                    latency_ns=platform.host_fetch_latency_ns + self._t2_move_ns,
+                )
         else:
             # Up-path bypasses Tier-2: SSD -> GPU memory directly.
             self._emit(EventKind.SSD_READ, page)
@@ -305,6 +349,12 @@ class GMTRuntime:
             fault_ns += platform.ssd_read_latency_ns
             if obs is not None:
                 obs.span("ssd-read", "ssd", platform.ssd_read_latency_ns, page=page)
+            if self._flight is not None:
+                self._flight.emit(
+                    LifecycleKind.ADMIT, page, self.stats.coalesced_accesses,
+                    "T3", "T1", "demand-miss",
+                    latency_ns=platform.ssd_read_latency_ns,
+                )
 
         self._fx_writeback = False
         self._fx_t2_place = False
@@ -367,6 +417,11 @@ class GMTRuntime:
             self._emit(EventKind.PREFETCH, candidate)
             if self._obs is not None:
                 self._obs.instant("prefetch", "ssd", page=candidate)
+            if self._flight is not None:
+                self._flight.emit(
+                    LifecycleKind.ADMIT, candidate, self.stats.coalesced_accesses,
+                    "T3", "T1", "prefetch",
+                )
             self.ssd.record_read(self.config.page_size)
             self.stats.ssd_page_reads += 1
             queueing = self._queueing_model()
@@ -407,6 +462,7 @@ class GMTRuntime:
             return 0.0
 
         retries = 0
+        overridden = False
         while True:
             victim = self._next_tier1_victim()
             vstate = self.page_table.lookup(victim)
@@ -417,10 +473,17 @@ class GMTRuntime:
                 # Progress guarantee: a retained victim must eventually go
                 # somewhere; the nearest tier below is host memory.
                 self.stats.retention_overrides += 1
+                overridden = True
                 plan = _force_tier2(plan)
                 break
             self.stats.clock_retentions += 1
             self._emit(EventKind.RETAIN, victim)
+            if self._flight is not None:
+                self._flight.emit(
+                    LifecycleKind.RETAIN, victim, self.stats.coalesced_accesses,
+                    "T1", "T1", "short-reuse-second-chance",
+                    predicted=_predicted_name(plan),
+                )
             self.t1_clock.insert(victim, referenced=True)
             retries += 1
 
@@ -434,6 +497,20 @@ class GMTRuntime:
         self.policy.on_evicted(vstate, plan)
         if plan.forced_tier2:
             self.stats.forced_t2_placements += 1
+
+        if self._flight is not None:
+            # Stamp the decision's reasoning for the lifecycle leaves below.
+            self._fx_predicted = _predicted_name(plan)
+            if plan.forced_tier2:
+                self._fx_cause = "heuristic-forced-tier2"
+            elif overridden:
+                self._fx_cause = "retention-override"
+            elif plan.from_fallback:
+                self._fx_cause = "cold-fallback"
+            elif plan.predicted_class is not None:
+                self._fx_cause = f"predicted-{self._fx_predicted}"
+            else:
+                self._fx_cause = "policy-static"
 
         if plan.decision is PlacementDecision.PLACE_TIER2 and self.tier2.capacity > 0:
             allow_eviction = self.policy.tier2_evicts_on_full and not plan.forced_tier2
@@ -459,11 +536,15 @@ class GMTRuntime:
             # Tier-2 quotas): the page is denied a host-memory frame and
             # takes the Tier-3 bypass path instead.
             self.stats.t2_quota_denials += 1
+            if self._flight is not None:
+                self._fx_cause = "t2-quota-denied"
             return self._bypass_to_tier3(state)
         ns = 0.0
         if self.tier2.full:
             if not allow_eviction:
                 self.stats.t2_full_bypasses += 1
+                if self._flight is not None:
+                    self._fx_cause = "t2-full-bypass"
                 return self._bypass_to_tier3(state)
             ns += self._evict_from_tier2()
 
@@ -478,6 +559,12 @@ class GMTRuntime:
         obs = self._obs
         if obs is not None:
             obs.span("place-t2", "tier2", self._t2_move_ns, page=state.page)
+        if self._flight is not None:
+            self._flight.emit(
+                LifecycleKind.DEMOTE, state.page, self.stats.coalesced_accesses,
+                "T1", "T2", self._fx_cause, predicted=self._fx_predicted,
+                dirty=state.dirty, latency_ns=self._t2_move_ns,
+            )
         return ns
 
     def _admit_tier2(self, state: PageState) -> bool:
@@ -505,6 +592,12 @@ class GMTRuntime:
         if obs is not None:
             obs.span("t2-evict", "tier2",
                      self.config.platform.tier2_eviction_ns, page=victim)
+        if self._flight is not None:
+            self._flight.emit(
+                LifecycleKind.T2_EVICT, victim, self.stats.coalesced_accesses,
+                "T2", "T3", "tier2-capacity", dirty=vstate.dirty,
+                latency_ns=self.config.platform.tier2_eviction_ns,
+            )
         # Running the Tier-2 replacement mechanism is itself GPU work over
         # host-resident metadata (section 2.1.1's third drawback).
         return (
@@ -515,6 +608,13 @@ class GMTRuntime:
         """Evict without a Tier-2 copy: discard clean, write back dirty."""
         self._emit(EventKind.BYPASS_T3, state.page)
         state.location = PageLocation.TIER3
+        if self._flight is not None:
+            self._flight.emit(
+                LifecycleKind.BYPASS, state.page, self.stats.coalesced_accesses,
+                "T1", "T3", self._fx_cause, predicted=self._fx_predicted,
+                dirty=state.dirty,
+                detail="writeback-dirty" if state.dirty else "discard-clean",
+            )
         ns = self._writeback_if_dirty(state)
         if ns == 0.0:
             self._emit(EventKind.DISCARD, state.page)
@@ -533,6 +633,12 @@ class GMTRuntime:
         if obs is not None:
             obs.span("writeback", "ssd",
                      self.config.platform.ssd_write_latency_ns, page=state.page)
+        if self._flight is not None:
+            self._flight.emit(
+                LifecycleKind.WRITEBACK, state.page, self.stats.coalesced_accesses,
+                "-", "T3", "dirty-writeback",
+                latency_ns=self.config.platform.ssd_write_latency_ns,
+            )
         return self.config.platform.ssd_write_latency_ns
 
     # ------------------------------------------------------------------
@@ -589,3 +695,8 @@ class GMTRuntime:
 def _force_tier2(plan):
     """Rewrite a RETAIN plan whose retry budget ran out into a Tier-2 plan."""
     return replace(plan, decision=PlacementDecision.PLACE_TIER2)
+
+
+def _predicted_name(plan) -> str | None:
+    """Lower-case reuse-class name behind a plan (None = no prediction)."""
+    return None if plan.predicted_class is None else plan.predicted_class.name.lower()

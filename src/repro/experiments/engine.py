@@ -148,11 +148,11 @@ def execute_cell(cell: Cell):
     return fn(**cell.kwargs())
 
 
-def _worker_init(telemetry_dir: str | None) -> None:
+def _worker_init(telemetry_dir: str | None, telemetry_lifecycle: bool = False) -> None:
     if telemetry_dir:
         from repro.experiments.harness import set_telemetry_dir
 
-        set_telemetry_dir(telemetry_dir)
+        set_telemetry_dir(telemetry_dir, lifecycle=telemetry_lifecycle)
 
 
 # ----------------------------------------------------------------------
@@ -303,6 +303,8 @@ class Engine:
         progress: optional callable receiving one line per cell event.
         telemetry_dir: forwarded to pool workers so uncached replays
             export telemetry exactly like the serial path.
+        telemetry_lifecycle: also record/export the page-lifecycle
+            flight recorder per replay (needs ``telemetry_dir``).
     """
 
     def __init__(
@@ -313,6 +315,7 @@ class Engine:
         memo: dict | None = None,
         progress: Callable[[str], None] | None = None,
         telemetry_dir: str | None = None,
+        telemetry_lifecycle: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -322,6 +325,7 @@ class Engine:
         self.memo = _GLOBAL_MEMO if memo is None else memo
         self.progress = progress
         self.telemetry_dir = telemetry_dir
+        self.telemetry_lifecycle = telemetry_lifecycle
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -390,7 +394,7 @@ class Engine:
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_worker_init,
-                    initargs=(self.telemetry_dir,),
+                    initargs=(self.telemetry_dir, self.telemetry_lifecycle),
                 ) as pool:
                     yield from self._consume(pending, pool.map(execute_cell, pending))
                     return

@@ -38,20 +38,26 @@ _run_cache: dict[tuple, RunResult] = {}
 #: When set (see :func:`set_telemetry_dir`), every *uncached* replay runs
 #: with telemetry attached and exports its trace/metrics files here.
 _telemetry_dir: str | None = None
+#: When additionally True, replays record the page-lifecycle flight
+#: recorder and export ``<app>-<kind>.lifecycle.jsonl`` too.
+_telemetry_lifecycle: bool = False
 
 
-def set_telemetry_dir(path: str | None) -> None:
+def set_telemetry_dir(path: str | None, lifecycle: bool = False) -> None:
     """Enable per-replay telemetry export under ``path`` (None disables).
 
     Each uncached replay writes ``<app>-<kind>.trace.json`` (Perfetto),
     ``<app>-<kind>.prom`` (Prometheus text) and, when windows were cut,
-    ``<app>-<kind>.windows.jsonl`` into the directory.  Cached replays
-    are reused as-is and produce no new files, so enable this *before*
-    the first figure touches the geometry of interest (or call
-    :func:`clear_caches` first).
+    ``<app>-<kind>.windows.jsonl`` into the directory.  With
+    ``lifecycle=True`` the page-lifecycle flight recorder also runs and
+    ``<app>-<kind>.lifecycle.jsonl`` is written (feed it to
+    ``gmt-why --from``).  Cached replays are reused as-is and produce no
+    new files, so enable this *before* the first figure touches the
+    geometry of interest (or call :func:`clear_caches` first).
     """
-    global _telemetry_dir
+    global _telemetry_dir, _telemetry_lifecycle
     _telemetry_dir = path
+    _telemetry_lifecycle = bool(lifecycle) and path is not None
 
 
 def _attach_run_telemetry(runtime: GMTRuntime, app: str, kind: str):
@@ -59,7 +65,10 @@ def _attach_run_telemetry(runtime: GMTRuntime, app: str, kind: str):
         return None
     from repro.obs import Telemetry
 
-    telemetry = Telemetry(labels={"app": normalize_name(app), "kind": kind})
+    telemetry = Telemetry(
+        labels={"app": normalize_name(app), "kind": kind},
+        lifecycle=_telemetry_lifecycle,
+    )
     runtime.attach_telemetry(telemetry)
     return telemetry
 
@@ -76,6 +85,14 @@ def _export_run_telemetry(telemetry, app: str, kind: str) -> None:
     windows = telemetry.windows()
     if windows:
         write_jsonl(f"{stem}.windows.jsonl", windows)
+    if telemetry.lifecycle is not None and len(telemetry.lifecycle):
+        from repro.obs.lifecycle import write_lifecycle_jsonl
+
+        write_lifecycle_jsonl(
+            f"{stem}.lifecycle.jsonl",
+            telemetry.lifecycle.events(),
+            extra={"app": normalize_name(app), "runtime": kind},
+        )
 
 
 @dataclass

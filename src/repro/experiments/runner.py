@@ -113,12 +113,21 @@ def main(argv: list[str] | None = None) -> int:
         help="export per-replay telemetry (Perfetto trace, Prometheus "
         "snapshot, window stream) for every uncached run into DIR",
     )
+    parser.add_argument(
+        "--telemetry-lifecycle",
+        action="store_true",
+        help="with --telemetry-dir: also record the page-lifecycle "
+        "flight recorder per replay and export <app>-<kind>.lifecycle.jsonl "
+        "(query with gmt-why --from)",
+    )
     args = parser.parse_args(argv)
 
+    if args.telemetry_lifecycle and args.telemetry_dir is None:
+        parser.error("--telemetry-lifecycle needs --telemetry-dir")
     if args.telemetry_dir is not None:
         from repro.experiments.harness import set_telemetry_dir
 
-        set_telemetry_dir(args.telemetry_dir)
+        set_telemetry_dir(args.telemetry_dir, lifecycle=args.telemetry_lifecycle)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     # Validate every name up-front so a typo fails before hours of work.
@@ -131,6 +140,7 @@ def main(argv: list[str] | None = None) -> int:
         force=args.force,
         progress=_progress_printer,
         telemetry_dir=args.telemetry_dir,
+        telemetry_lifecycle=args.telemetry_lifecycle,
     )
 
     failures: dict[str, Exception] = {}

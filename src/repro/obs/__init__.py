@@ -7,18 +7,33 @@ Three pillars (see docs/observability.md for the catalog and formats):
 - :mod:`repro.obs.tracing` — :class:`SpanTracer` over the simulator's
   virtual clock, exportable as Chrome/Perfetto trace-event JSON;
 - :mod:`repro.obs.export` / :mod:`repro.obs.snapshots` — Prometheus
-  text, trace JSON and JSONL window streams.
+  text, trace JSON and JSONL window streams;
+- :mod:`repro.obs.lifecycle` — the page-lifecycle flight recorder and
+  the causal query engine behind the ``gmt-why`` CLI;
+- :mod:`repro.obs.anomaly` — thrash / bypass-storm / latency-spike
+  detection over windowed snapshots.
 
-:class:`Telemetry` bundles all three for one runtime; attach with
-``runtime.attach_telemetry()``.
+:class:`Telemetry` bundles them for one runtime; attach with
+``runtime.attach_telemetry()`` (pass ``Telemetry(lifecycle=True)`` to
+also record page lifecycles).
 """
 
+from repro.obs.anomaly import Anomaly, AnomalyDetector
 from repro.obs.export import (
     chrome_trace_events,
     prometheus_text,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
+)
+from repro.obs.lifecycle import (
+    LifecycleEvent,
+    LifecycleKind,
+    LifecycleQuery,
+    LifecycleRecorder,
+    lifecycle_trace_events,
+    load_lifecycle_jsonl,
+    write_lifecycle_jsonl,
 )
 from repro.obs.metrics import (
     BoundCounter,
@@ -34,20 +49,29 @@ from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
+    "Anomaly",
+    "AnomalyDetector",
     "BoundCounter",
     "Counter",
     "Gauge",
     "Histogram",
+    "LifecycleEvent",
+    "LifecycleKind",
+    "LifecycleQuery",
+    "LifecycleRecorder",
     "MetricsRegistry",
     "Span",
     "SpanTracer",
     "Telemetry",
     "WindowedSnapshotter",
     "chrome_trace_events",
+    "lifecycle_trace_events",
     "linear_buckets",
+    "load_lifecycle_jsonl",
     "log_buckets",
     "prometheus_text",
     "write_chrome_trace",
     "write_jsonl",
+    "write_lifecycle_jsonl",
     "write_prometheus",
 ]

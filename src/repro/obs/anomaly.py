@@ -1,0 +1,195 @@
+"""Anomaly detection over windowed telemetry snapshots.
+
+The :class:`~repro.obs.snapshots.WindowedSnapshotter` already cuts the
+run into delta windows of every registered metric; this module scans
+that stream for the three pathologies a tiered hierarchy exhibits:
+
+- **thrash** — eviction/admit churn: a window where Tier-1 evictions per
+  coalesced access exceed a threshold, i.e. the tier is cycling pages
+  faster than it serves hits;
+- **bypass storm** — a window where most Tier-1 evictions skip host
+  memory entirely (Tier-2 bypasses), turning every future reuse into a
+  full 3-tier SSD fault;
+- **fault-latency tail spike** — a window whose mean demand-miss latency
+  jumps above a multiple of the trailing mean of the preceding windows.
+
+Detection is a pure function over the window dicts, so it runs equally
+on a live :class:`~repro.obs.telemetry.Telemetry` (``telemetry.windows()``)
+or on a ``*.windows.jsonl`` file loaded back from disk.  Found anomalies
+can be stamped onto the span trace as instant events
+(:meth:`AnomalyDetector.annotate`) so Perfetto shows them in context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import ConfigError
+from repro.obs.tracing import SpanTracer
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged window.
+
+    Attributes:
+        rule: ``thrash`` / ``bypass-storm`` / ``latency-spike``.
+        window: the window's index in the stream.
+        position: the window's end position (coalesced accesses).
+        ts_ns: the window's virtual-time stamp (0.0 when the stream
+            carries no ``gmt_virtual_time_ns`` gauge).
+        value: the measured quantity that tripped the rule.
+        threshold: the limit it tripped.
+        message: human-readable one-liner.
+    """
+
+    rule: str
+    window: int
+    position: int
+    ts_ns: float
+    value: float
+    threshold: float
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[window {self.window} @ {self.position}] {self.rule}: {self.message}"
+
+
+class AnomalyDetector:
+    """Scan window streams for thrash, bypass storms and latency spikes.
+
+    Args:
+        thrash_evictions_per_access: flag a window when Tier-1 evictions
+            divided by the window's access span exceed this.
+        bypass_fraction: flag a window when the fraction of Tier-1
+            evictions that bypassed Tier-2 exceeds this.
+        latency_spike_factor: flag a window whose mean fault latency
+            exceeds ``factor x`` the trailing mean of prior windows.
+        min_evictions: ignore windows with fewer evictions than this for
+            the thrash/bypass rules (quiet windows are noise).
+        min_faults: ignore windows with fewer demand misses than this
+            for the latency rule.
+    """
+
+    def __init__(
+        self,
+        thrash_evictions_per_access: float = 0.5,
+        bypass_fraction: float = 0.75,
+        latency_spike_factor: float = 3.0,
+        min_evictions: int = 16,
+        min_faults: int = 16,
+    ) -> None:
+        if thrash_evictions_per_access <= 0:
+            raise ConfigError("thrash_evictions_per_access must be positive")
+        if not 0.0 < bypass_fraction <= 1.0:
+            raise ConfigError("bypass_fraction must be in (0, 1]")
+        if latency_spike_factor <= 1.0:
+            raise ConfigError("latency_spike_factor must exceed 1.0")
+        self.thrash_evictions_per_access = thrash_evictions_per_access
+        self.bypass_fraction = bypass_fraction
+        self.latency_spike_factor = latency_spike_factor
+        self.min_evictions = min_evictions
+        self.min_faults = min_faults
+
+    # ------------------------------------------------------------------
+    def scan(self, windows: Iterable[dict]) -> list[Anomaly]:
+        """All anomalies in ``windows``, in stream order."""
+        anomalies: list[Anomaly] = []
+        trailing_latency_sum = 0.0
+        trailing_fault_count = 0
+        for window in windows:
+            index = int(window.get("window", 0))
+            position = int(window.get("position", 0))
+            ts_ns = float(window.get("gmt_virtual_time_ns", 0.0))
+            span = max(1, int(window.get("span", 1)))
+            evictions = float(window.get("gmt_t1_evictions", 0.0))
+            placements = float(window.get("gmt_t2_placements", 0.0))
+            fault_sum = float(window.get("gmt_fault_latency_ns_sum", 0.0))
+            fault_count = float(window.get("gmt_fault_latency_ns_count", 0.0))
+
+            if evictions >= self.min_evictions:
+                churn = evictions / span
+                if churn >= self.thrash_evictions_per_access:
+                    anomalies.append(
+                        Anomaly(
+                            rule="thrash",
+                            window=index,
+                            position=position,
+                            ts_ns=ts_ns,
+                            value=churn,
+                            threshold=self.thrash_evictions_per_access,
+                            message=(
+                                f"{evictions:.0f} Tier-1 evictions over {span} accesses "
+                                f"({churn:.2f}/access >= {self.thrash_evictions_per_access})"
+                            ),
+                        )
+                    )
+                bypasses = max(0.0, evictions - placements)
+                fraction = bypasses / evictions
+                if fraction >= self.bypass_fraction:
+                    anomalies.append(
+                        Anomaly(
+                            rule="bypass-storm",
+                            window=index,
+                            position=position,
+                            ts_ns=ts_ns,
+                            value=fraction,
+                            threshold=self.bypass_fraction,
+                            message=(
+                                f"{bypasses:.0f}/{evictions:.0f} evictions bypassed "
+                                f"Tier-2 ({fraction:.0%} >= {self.bypass_fraction:.0%})"
+                            ),
+                        )
+                    )
+
+            if fault_count >= self.min_faults:
+                mean = fault_sum / fault_count
+                if trailing_fault_count >= self.min_faults:
+                    trailing_mean = trailing_latency_sum / trailing_fault_count
+                    if trailing_mean > 0 and mean >= self.latency_spike_factor * trailing_mean:
+                        anomalies.append(
+                            Anomaly(
+                                rule="latency-spike",
+                                window=index,
+                                position=position,
+                                ts_ns=ts_ns,
+                                value=mean,
+                                threshold=self.latency_spike_factor * trailing_mean,
+                                message=(
+                                    f"mean fault latency {mean:.0f} ns vs trailing "
+                                    f"{trailing_mean:.0f} ns "
+                                    f"(x{mean / trailing_mean:.1f} >= "
+                                    f"x{self.latency_spike_factor})"
+                                ),
+                            )
+                        )
+                trailing_latency_sum += fault_sum
+                trailing_fault_count += fault_count
+        return anomalies
+
+    # ------------------------------------------------------------------
+    def annotate(self, tracer: SpanTracer, anomalies: Iterable[Anomaly]) -> int:
+        """Stamp ``anomalies`` onto ``tracer`` as instant events (one
+        ``anomaly/<rule>`` track per rule); returns the count."""
+        count = 0
+        for anomaly in anomalies:
+            tracer.instant(
+                f"anomaly:{anomaly.rule}",
+                "anomaly",
+                anomaly.ts_ns,
+                window=anomaly.window,
+                position=anomaly.position,
+                value=round(anomaly.value, 4),
+                threshold=round(anomaly.threshold, 4),
+                message=anomaly.message,
+            )
+            count += 1
+        return count
+
+    def scan_and_annotate(self, telemetry) -> list[Anomaly]:
+        """Scan a live :class:`~repro.obs.telemetry.Telemetry`'s windows
+        and stamp every finding onto its tracer."""
+        anomalies = self.scan(telemetry.windows())
+        self.annotate(telemetry.tracer, anomalies)
+        return anomalies

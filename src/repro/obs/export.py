@@ -40,9 +40,12 @@ def chrome_trace_events(
             one entry per runtime.
     """
     items = tracers.items() if isinstance(tracers, Mapping) else list(tracers)
+    # Metadata events (process/thread names) lead; timed events follow
+    # sorted by timestamp so viewers never re-sort large traces.
+    metadata: list[dict] = []
     events: list[dict] = []
     for pid, (process, tracer) in enumerate(items):
-        events.append(
+        metadata.append(
             {
                 "name": "process_name",
                 "ph": "M",
@@ -62,7 +65,7 @@ def chrome_trace_events(
                 tid = len(tids)
                 tids[track] = tid
                 track_name = span.name if tenant is None else f"{span.name} [{tenant}]"
-                events.append(
+                metadata.append(
                     {
                         "name": "thread_name",
                         "ph": "M",
@@ -77,8 +80,11 @@ def chrome_trace_events(
                 "pid": pid,
                 "tid": tid,
                 "ts": span.ts_ns / _NS_PER_US,
-                "args": span.args,
             }
+            if span.args:
+                # Arg-less spans omit the key entirely (a bare ``"args":
+                # null`` is tolerated by Perfetto but is pure noise).
+                event["args"] = span.args
             if span.instant:
                 event["ph"] = "i"
                 event["s"] = "t"
@@ -86,7 +92,8 @@ def chrome_trace_events(
                 event["ph"] = "X"
                 event["dur"] = (span.dur_ns or 0.0) / _NS_PER_US
             events.append(event)
-    return events
+    events.sort(key=lambda e: e["ts"])
+    return metadata + events
 
 
 def write_chrome_trace(
@@ -106,6 +113,12 @@ def write_chrome_trace(
 # ----------------------------------------------------------------------
 def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` line escaping: backslash and newline only (the
+    exposition format leaves quotes alone on HELP lines)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labels(pairs: dict[str, str]) -> str:
@@ -146,7 +159,7 @@ def prometheus_text(registries: MetricsRegistry | Iterable[MetricsRegistry]) -> 
         order.append(name)
         bucket = grouped.setdefault(name, [])
         if help_text:
-            bucket.append(f"# HELP {name} {help_text}")
+            bucket.append(f"# HELP {name} {_escape_help(help_text)}")
         bucket.append(f"# TYPE {name} {kind}")
 
     for registry in registries:

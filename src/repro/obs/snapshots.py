@@ -50,6 +50,17 @@ class WindowedSnapshotter:
         self._last = self._capture()
         self._last_position = position
 
+    def flush(self, position: int) -> dict | None:
+        """Cut the final partial window at end-of-run/detach.
+
+        Without this, the tail of a replay — everything after the last
+        full interval boundary — silently drops out of :meth:`windows`.
+        Idempotent: a position that has not advanced cuts nothing.
+        """
+        if position <= self._last_position:
+            return None
+        return self.snapshot(position)
+
     def maybe_snapshot(self, position: int) -> dict | None:
         """Snapshot if ``position`` advanced a full interval past the last
         boundary; returns the new window dict (or None)."""

@@ -48,6 +48,11 @@ class Telemetry:
             runtime's own labels at attach time).
         trace_capacity: span bound for the tracer (None = unbounded).
         window: delta-window interval in coalesced accesses.
+        lifecycle: enable the page-lifecycle flight recorder
+            (:mod:`repro.obs.lifecycle`): ``False`` (default, off),
+            ``True`` (on, default ring capacity), or an ``int`` ring
+            capacity.  Off costs nothing — the runtime keeps its
+            ``self._flight is None`` fast path.
     """
 
     def __init__(
@@ -55,12 +60,19 @@ class Telemetry:
         labels: dict[str, str] | None = None,
         trace_capacity: int | None = 100_000,
         window: int = 10_000,
+        lifecycle: bool | int = False,
     ) -> None:
         self.registry = MetricsRegistry(const_labels=labels)
         self.tracer = SpanTracer(capacity=trace_capacity)
         self.name = labels.get("runtime", "run") if labels else "run"
         self._runtime: GMTRuntime | None = None
         self._cost = None  # the runtime's CostModel; drives the trace clock
+        #: Optional page-lifecycle flight recorder (None = disabled).
+        self.lifecycle = None
+        if lifecycle:
+            self.enable_lifecycle(
+                capacity=lifecycle if isinstance(lifecycle, int) and lifecycle is not True else 100_000
+            )
 
     # -- instruments that exist before attach (usable standalone) -------
         reg = self.registry
@@ -99,6 +111,25 @@ class Telemetry:
             buckets=linear_buckets(0.1, 0.1, 10),
         )
         self.snapshotter = WindowedSnapshotter(reg, interval=window)
+
+    # ------------------------------------------------------------------
+    # page-lifecycle flight recorder (optional)
+    # ------------------------------------------------------------------
+    def enable_lifecycle(self, capacity: int | None = 100_000):
+        """Create (or return) the lifecycle flight recorder.
+
+        Call before ``attach`` (or pass ``lifecycle=`` to the
+        constructor); the recorder is wired into the runtime's emission
+        sites at attach time.  Returns the recorder.
+        """
+        if self.lifecycle is None:
+            from repro.obs.lifecycle import LifecycleRecorder
+
+            self.lifecycle = LifecycleRecorder(capacity=capacity)
+            self.lifecycle.clock = lambda: self.now_ns
+            if self._runtime is not None:
+                self._runtime._flight = self.lifecycle
+        return self.lifecycle
 
     # ------------------------------------------------------------------
     # virtual clock
@@ -149,6 +180,14 @@ class Telemetry:
         reg.gauge("gmt_t1_access_ns",
                   help="Modelled GPU-memory access latency (per-tier latency floor)",
                   fn=lambda p=runtime.config.platform: p.gpu_access_ns)
+        reg.gauge("gmt_virtual_time_ns",
+                  help="Accumulated modelled time (the trace clock); windows "
+                       "capture it so window streams join onto the span axis",
+                  fn=lambda: self.now_ns)
+
+        # Flight recorder: hand the runtime the emission-site hook.
+        if self.lifecycle is not None:
+            runtime._flight = self.lifecycle
 
         # Size observers on the device models (None-guarded hot hooks).
         pcie.observer = self.pcie_transfer_bytes.observe
@@ -164,14 +203,27 @@ class Telemetry:
         self.snapshotter.rebaseline(runtime.stats.coalesced_accesses)
         return self
 
+    def finish(self) -> None:
+        """Flush the final partial snapshot window (end-of-run hook).
+
+        Called automatically by ``GMTRuntime.run`` and at detach;
+        idempotent, so driving the runtime access-by-access and calling
+        this once at the end is also fine.
+        """
+        if self._runtime is not None:
+            self.snapshotter.flush(self._runtime.stats.coalesced_accesses)
+
     def detach(self) -> None:
         """Unhook from the runtime (the runtime clears its own ``_obs``)."""
         runtime = self._runtime
         if runtime is None:
             return
+        self.finish()
         runtime.pcie.observer = None
         runtime.ssd.observer = None
         runtime.engine.observer = None
+        if runtime._flight is self.lifecycle:
+            runtime._flight = None
         attach = getattr(runtime.policy, "attach_telemetry", None)
         if attach is not None:
             attach(None)

@@ -112,6 +112,9 @@ class _TenantObsShim:
     def tick(self, position: int) -> None:
         self._obs.tick(position)
 
+    def finish(self) -> None:
+        self._obs.finish()
+
     def detach(self) -> None:
         self._obs.detach()
 
@@ -247,4 +250,12 @@ class TenantAwareRuntime(GMTRuntime):
         telemetry = super().attach_telemetry(telemetry)
         # Re-wrap the runtime-side sink so spans carry the tenant label.
         self._obs = _TenantObsShim(self._obs, self)
+        if telemetry.lifecycle is not None:
+            telemetry.lifecycle.tenant_source = self.current_tenant_label
         return telemetry
+
+    def attach_flight_recorder(self, capacity: int | None = 100_000, recorder=None):
+        recorder = super().attach_flight_recorder(capacity, recorder)
+        # Lifecycle events carry the issuing tenant (per-tenant lanes).
+        recorder.tenant_source = self.current_tenant_label
+        return recorder

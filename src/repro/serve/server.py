@@ -318,6 +318,10 @@ class TenantServer:
             issued_warps[tenant] += 1
             issued_bytes[tenant] += warp_bytes(warp, page_size)
         runtime.begin_tenant(None)
+        if runtime._obs is not None:
+            # Flush the final partial telemetry window (the serving loop
+            # drives accesses directly, bypassing GMTRuntime.run()).
+            runtime._obs.finish()
 
         result = runtime.result()
         for stream in self.streams:

@@ -1,0 +1,141 @@
+"""gmt-bench: baseline record/check, injected regressions must fail."""
+
+import copy
+import json
+
+import pytest
+
+import repro.bench as bench
+
+
+CELLS = (("bfs", "reuse"),)  # one small cell keeps these tests quick
+
+
+@pytest.fixture
+def baseline():
+    return bench.run_bench(cells=CELLS, scale=4096, seed=0)
+
+
+class TestRecord:
+    def test_cells_and_metrics_present(self, baseline):
+        assert set(baseline["cells"]) == {"bfs/reuse"}
+        record = baseline["cells"]["bfs/reuse"]
+        for metric in bench.SIM_METRICS:
+            assert metric in record
+        assert record["wall_s"] > 0
+        assert record["elapsed_ns"] > 0
+
+    def test_simulated_metrics_deterministic(self, baseline):
+        again = bench.run_bench(cells=CELLS, scale=4096, seed=0)
+        for metric in bench.SIM_METRICS:
+            assert again["cells"]["bfs/reuse"][metric] == (
+                baseline["cells"]["bfs/reuse"][metric]
+            )
+
+
+class TestCompare:
+    def test_identical_run_passes(self, baseline):
+        current = bench.run_bench(cells=CELLS, scale=4096, seed=0)
+        assert bench.compare(baseline, current) == []
+
+    def test_metric_drift_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"]["bfs/reuse"]["ssd_page_reads"] *= 1.10
+        problems = bench.compare(baseline, current)
+        assert len(problems) == 1
+        assert "ssd_page_reads" in problems[0]
+
+    def test_small_drift_within_tolerance_passes(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"]["bfs/reuse"]["elapsed_ns"] *= 1.005
+        assert bench.compare(baseline, current, tolerance=0.01) == []
+
+    def test_wall_clock_regression_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"]["bfs/reuse"]["wall_s"] = (
+            baseline["cells"]["bfs/reuse"]["wall_s"] * 20 + 1.0
+        )
+        problems = bench.compare(baseline, current, wall_tolerance=5.0)
+        assert any("wall_s" in p for p in problems)
+
+    def test_wall_clock_improvement_never_fails(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["cells"]["bfs/reuse"]["wall_s"] = 0.0
+        assert bench.compare(baseline, current) == []
+
+    def test_missing_cell_reported(self, baseline):
+        current = copy.deepcopy(baseline)
+        del current["cells"]["bfs/reuse"]
+        problems = bench.compare(baseline, current)
+        assert problems == ["bfs/reuse: missing from current run"]
+
+    def test_geometry_mismatch_short_circuits(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["scale"] = 1024
+        problems = bench.compare(baseline, current)
+        assert len(problems) == 1 and "geometry mismatch" in problems[0]
+
+
+class TestCLI:
+    def test_record_then_check_passes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        path = tmp_path / "BENCH_baseline.json"
+        assert bench.main(["--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert "bfs/reuse" in doc["cells"]
+        assert bench.main(["--check", "--baseline", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails_the_gate(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        path = tmp_path / "BENCH_baseline.json"
+        assert bench.main(["--out", str(path)]) == 0
+
+        # Inject an artificial 100x wall-clock slowdown through the
+        # module clock hook: each _clock() call advances a fake timer.
+        fake = {"now": 0.0}
+
+        def slow_clock():
+            fake["now"] += 60.0  # one minute per sample => huge wall_s
+            return fake["now"]
+
+        monkeypatch.setattr(bench, "_clock", slow_clock)
+        rc = bench.main(
+            ["--check", "--baseline", str(path), "--wall-tolerance", "5"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "wall_s" in out
+
+    def test_injected_behaviour_change_fails_the_gate(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        path = tmp_path / "BENCH_baseline.json"
+        assert bench.main(["--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        doc["cells"]["bfs/reuse"]["ssd_page_reads"] += 100
+        path.write_text(json.dumps(doc))
+        rc = bench.main(["--check", "--baseline", str(path)])
+        assert rc == 1
+        assert "ssd_page_reads" in capsys.readouterr().out
+
+    def test_missing_baseline_is_a_distinct_error(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        rc = bench.main(["--check", "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+    def test_committed_baseline_matches_current_behaviour(self, capsys):
+        # The repo's committed baseline must stay in sync with the
+        # simulator: this is the same check CI's bench-gate runs (with a
+        # wide wall budget; the simulated metrics are the real gate).
+        rc = bench.main(
+            [
+                "--check",
+                "--baseline",
+                "benchmarks/BENCH_baseline.json",
+                "--wall-tolerance",
+                "50",
+            ]
+        )
+        assert rc == 0, capsys.readouterr().out

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main_characterize, main_sim
+from repro.cli import main_characterize, main_sim, main_why
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.runner import main as main_experiments
 
@@ -147,3 +147,120 @@ class TestGmtServe:
 
         with pytest.raises(SystemExit):
             main_serve(["--tenants", "bfs", "--discipline", "lottery"])
+
+
+class TestGmtWhy:
+    SCALE = ["--scale", "8192"]
+
+    def recorded_events(self, tmp_path):
+        """One replay exported to JSONL; reused by --from tests."""
+        from repro.obs.lifecycle import load_lifecycle_jsonl
+
+        out = tmp_path / "lifecycle.jsonl"
+        rc = main_why(
+            ["hotspot", *self.SCALE, "residency", "--record-out", str(out)]
+        )
+        assert rc == 0
+        return out, load_lifecycle_jsonl(str(out))
+
+    def test_page_journey_reconstructed_with_causes(self, capsys):
+        # Deterministic replay: find a real faulted page first, then ask
+        # the CLI to explain it.
+        from repro.obs.lifecycle import FILL_KINDS, load_lifecycle_jsonl
+
+        rc = main_why(["hotspot", *self.SCALE, "top"])
+        assert rc == 0
+        capsys.readouterr()
+
+        from repro.experiments.harness import build_runtime, default_config, get_workload
+        from repro.obs import Telemetry
+
+        config = default_config(8192)
+        runtime = build_runtime("reuse", config)
+        telemetry = Telemetry(lifecycle=True)
+        runtime.attach_telemetry(telemetry)
+        runtime.run(get_workload("hotspot", config, seed=0))
+        fill = next(e for e in telemetry.lifecycle if e.kind in FILL_KINDS)
+
+        rc = main_why(["hotspot", *self.SCALE, "page", str(fill.page)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"page {fill.page}:" in out
+        assert "admit" in out
+        assert "cause=" in out
+
+    def test_miss_explained_with_cause(self, capsys):
+        from repro.experiments.harness import build_runtime, default_config, get_workload
+        from repro.obs import Telemetry
+        from repro.obs.lifecycle import FILL_KINDS
+
+        config = default_config(8192)
+        runtime = build_runtime("reuse", config)
+        telemetry = Telemetry(lifecycle=True)
+        runtime.attach_telemetry(telemetry)
+        runtime.run(get_workload("hotspot", config, seed=0))
+        fill = next(e for e in telemetry.lifecycle if e.kind in FILL_KINDS)
+
+        rc = main_why(["hotspot", *self.SCALE, "miss", str(fill.access)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"access {fill.access}:" in out
+        assert f"page {fill.page}" in out
+        assert "cause" in out or "verdict" in out
+
+    def test_miss_on_a_hit_says_so(self, capsys):
+        rc = main_why(["hotspot", *self.SCALE, "miss", "0"])
+        assert rc == 0
+        assert "no recorded Tier-1 fill" in capsys.readouterr().out
+
+    def test_top_residency_outcomes_render_tables(self, capsys):
+        for query, marker in (
+            ("top", "SSD I/O"),
+            ("residency", "tier"),
+            ("outcomes", "outcome"),
+        ):
+            rc = main_why(["hotspot", *self.SCALE, query])
+            assert rc == 0
+            assert marker in capsys.readouterr().out
+
+    def test_anomalies_query_runs(self, capsys):
+        rc = main_why(["hotspot", *self.SCALE, "anomalies", "--window", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "anomalies" in out or "thrash" in out or "bypass" in out or "latency" in out
+
+    def test_record_out_then_from_round_trip(self, capsys, tmp_path):
+        out, events = self.recorded_events(tmp_path)
+        assert events  # the export captured the replay
+        capsys.readouterr()
+        rc = main_why(["hotspot", *self.SCALE, "page", str(events[0].page),
+                       "--from", str(out)])
+        assert rc == 0
+        assert f"page {events[0].page}:" in capsys.readouterr().out
+
+    def test_anomalies_rejected_with_from(self, tmp_path):
+        out, _ = self.recorded_events(tmp_path)
+        with pytest.raises(SystemExit):
+            main_why(["hotspot", *self.SCALE, "anomalies", "--from", str(out)])
+
+    def test_page_query_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main_why(["hotspot", *self.SCALE, "page"])
+
+    def test_ring_capacity_note_printed_when_dropping(self, capsys):
+        rc = main_why(["hotspot", *self.SCALE, "residency", "--capacity", "64"])
+        assert rc == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestGmtSimLifecycleOut:
+    def test_lifecycle_export(self, capsys, tmp_path):
+        path = tmp_path / "lc.jsonl"
+        rc = main_sim(["lavamd", "--scale", "8192", "--runtimes", "reuse",
+                       "--lifecycle-out", str(path)])
+        assert rc == 0
+        assert "lifecycle events" in capsys.readouterr().out
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines
+        assert all(l["runtime"] == "reuse" for l in lines)
+        assert {"kind", "page", "access", "cause"} <= set(lines[0])

@@ -1,0 +1,134 @@
+"""Anomaly detection over windowed snapshots: rules, annotation, e2e."""
+
+import random
+
+import pytest
+
+from repro.core.config import GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.errors import ConfigError
+from repro.obs import AnomalyDetector, Telemetry
+from repro.obs.tracing import SpanTracer
+
+
+def window(
+    index,
+    span=1000,
+    evictions=0.0,
+    placements=0.0,
+    fault_sum=0.0,
+    fault_count=0.0,
+    ts_ns=0.0,
+):
+    return {
+        "window": index,
+        "position": (index + 1) * span,
+        "span": span,
+        "gmt_virtual_time_ns": ts_ns,
+        "gmt_t1_evictions": evictions,
+        "gmt_t2_placements": placements,
+        "gmt_fault_latency_ns_sum": fault_sum,
+        "gmt_fault_latency_ns_count": fault_count,
+    }
+
+
+class TestRules:
+    def test_quiet_stream_is_clean(self):
+        windows = [window(i, evictions=10.0, placements=10.0) for i in range(5)]
+        assert AnomalyDetector().scan(windows) == []
+
+    def test_thrash_flagged(self):
+        windows = [
+            window(0, evictions=100.0, placements=100.0),
+            window(1, evictions=800.0, placements=800.0),
+        ]
+        anomalies = AnomalyDetector().scan(windows)
+        assert [a.rule for a in anomalies] == ["thrash"]
+        assert anomalies[0].window == 1
+        assert anomalies[0].value == pytest.approx(0.8)
+
+    def test_bypass_storm_flagged(self):
+        windows = [window(0, evictions=100.0, placements=10.0)]
+        anomalies = AnomalyDetector().scan(windows)
+        assert [a.rule for a in anomalies] == ["bypass-storm"]
+        assert anomalies[0].value == pytest.approx(0.9)
+
+    def test_latency_spike_needs_trailing_history(self):
+        # First window can never spike: there is no trailing mean yet.
+        windows = [window(0, fault_sum=9e6, fault_count=100.0)]
+        assert AnomalyDetector().scan(windows) == []
+
+    def test_latency_spike_flagged_against_trailing_mean(self):
+        windows = [
+            window(0, fault_sum=100 * 1000.0, fault_count=100.0),
+            window(1, fault_sum=100 * 1100.0, fault_count=100.0),
+            window(2, fault_sum=100 * 9000.0, fault_count=100.0, ts_ns=5e6),
+        ]
+        anomalies = AnomalyDetector().scan(windows)
+        assert [a.rule for a in anomalies] == ["latency-spike"]
+        spike = anomalies[0]
+        assert spike.window == 2
+        assert spike.ts_ns == 5e6
+        assert spike.value == pytest.approx(9000.0)
+
+    def test_injected_slowdown_detected_in_synthetic_stream(self):
+        # An artificial 10x latency degradation halfway through the run.
+        windows = [
+            window(i, fault_sum=50 * 2000.0, fault_count=50.0) for i in range(4)
+        ] + [
+            window(4 + i, fault_sum=50 * 20000.0, fault_count=50.0)
+            for i in range(2)
+        ]
+        rules = [a.rule for a in AnomalyDetector().scan(windows)]
+        assert "latency-spike" in rules
+
+    def test_quiet_windows_below_min_counts_ignored(self):
+        detector = AnomalyDetector(min_evictions=16, min_faults=16)
+        windows = [
+            window(0, evictions=10.0, placements=0.0, fault_sum=1e9, fault_count=5.0),
+            window(1, evictions=10.0, placements=0.0, fault_sum=10.0, fault_count=5.0),
+        ]
+        assert detector.scan(windows) == []
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            AnomalyDetector(thrash_evictions_per_access=0.0)
+        with pytest.raises(ConfigError):
+            AnomalyDetector(bypass_fraction=1.5)
+        with pytest.raises(ConfigError):
+            AnomalyDetector(latency_spike_factor=1.0)
+
+
+class TestAnnotate:
+    def test_annotate_stamps_instants_at_window_time(self):
+        windows = [window(0, evictions=900.0, placements=900.0, ts_ns=1234.0)]
+        detector = AnomalyDetector()
+        anomalies = detector.scan(windows)
+        tracer = SpanTracer()
+        assert detector.annotate(tracer, anomalies) == 1
+        (span,) = tracer.spans()
+        assert span.name == "anomaly:thrash"
+        assert span.cat == "anomaly"
+        assert span.ts_ns == 1234.0
+        assert span.args["window"] == 0
+
+    def test_scan_and_annotate_live_telemetry(self):
+        config = GMTConfig(
+            tier1_frames=16, tier2_frames=32, policy="reuse",
+            sample_target=200, sample_batch=40,
+        )
+        runtime = GMTRuntime(config)
+        telemetry = Telemetry(window=500)
+        runtime.attach_telemetry(telemetry)
+        rng = random.Random(5)
+        for _ in range(4000):
+            runtime.access(rng.randrange(512))  # heavy oversubscription
+        telemetry.finish()
+        detector = AnomalyDetector()
+        anomalies = detector.scan_and_annotate(telemetry)
+        # Uniform random over 32x oversubscription must thrash Tier-1.
+        assert any(a.rule == "thrash" for a in anomalies)
+        stamped = telemetry.tracer.spans(name="anomaly:thrash")
+        assert len(stamped) == sum(1 for a in anomalies if a.rule == "thrash")
+        # Window stamps carry the virtual-time axis for the trace join.
+        assert all(a.ts_ns > 0 for a in anomalies)

@@ -1,0 +1,222 @@
+"""Exporter round-trips: Prometheus line-format re-parse, trace invariants."""
+
+import json
+import math
+
+from repro.obs.export import chrome_trace_events, prometheus_text
+from repro.obs.lifecycle import LifecycleKind, LifecycleRecorder, lifecycle_trace_events
+from repro.obs.metrics import MetricsRegistry, linear_buckets
+from repro.obs.tracing import SpanTracer
+
+
+# ----------------------------------------------------------------------
+# A minimal Prometheus text-exposition parser.  Deliberately independent
+# of the exporter's string-building: it re-derives structure from the
+# bytes so formatting bugs (escaping, ordering, suffixes) surface as
+# parse or content failures.
+# ----------------------------------------------------------------------
+def parse_prometheus(text):
+    metrics = {}  # name -> {"type": ..., "help": ..., "samples": [(labels, value)]}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry = metrics.setdefault(name, {"help": None, "type": None, "samples": []})
+            assert entry["help"] is None, f"duplicate HELP for {name}"
+            entry["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            entry = metrics.setdefault(name, {"help": None, "type": None, "samples": []})
+            assert entry["type"] is None, f"duplicate TYPE for {name}"
+            entry["type"] = kind
+            current = name
+        elif line.startswith("#"):
+            continue
+        else:
+            sample, _, value = line.rpartition(" ")
+            sample_name, _, labelstr = sample.partition("{")
+            labels = {}
+            if labelstr:
+                assert labelstr.endswith("}"), line
+                for pair in _split_labels(labelstr[:-1]):
+                    key, _, raw = pair.partition("=")
+                    assert raw.startswith('"') and raw.endswith('"'), line
+                    labels[key] = _unescape(raw[1:-1])
+            base = current
+            assert base is not None and sample_name.startswith(
+                base.rsplit("_", 1)[0].split("{")[0][:1]
+            )
+            metrics[base]["samples"].append((sample_name, labels, float(value)))
+    return metrics
+
+
+def _split_labels(inner):
+    parts, depth, start = [], False, 0
+    for i, ch in enumerate(inner):
+        if ch == '"' and (i == 0 or inner[i - 1] != "\\"):
+            depth = not depth
+        elif ch == "," and not depth:
+            parts.append(inner[start:i])
+            start = i + 1
+    parts.append(inner[start:])
+    return [p for p in parts if p]
+
+
+def _unescape(value):
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_gauges_histograms_reparse(self):
+        reg = MetricsRegistry(const_labels={"app": "bfs"})
+        counter = reg.counter("gmt_reads", help="SSD reads")
+        counter.inc(7)
+        reg.gauge("gmt_occupancy", help="Resident pages", fn=lambda: 42)
+        hist = reg.histogram(
+            "gmt_lat_ns", help="latency", buckets=linear_buckets(10.0, 10.0, 3)
+        )
+        for v in (5.0, 15.0, 500.0):
+            hist.observe(v)
+        parsed = parse_prometheus(prometheus_text(reg))
+
+        assert parsed["gmt_reads_total"]["type"] == "counter"
+        ((name, labels, value),) = parsed["gmt_reads_total"]["samples"]
+        assert name == "gmt_reads_total"
+        assert labels == {"app": "bfs"}
+        assert value == 7.0
+
+        ((_, _, occupancy),) = parsed["gmt_occupancy"]["samples"]
+        assert occupancy == 42.0
+
+        hist_samples = parsed["gmt_lat_ns"]["samples"]
+        buckets = [(l["le"], v) for n, l, v in hist_samples if n == "gmt_lat_ns_bucket"]
+        assert buckets[-1][0] == "+Inf" and buckets[-1][1] == 3.0
+        # Cumulative monotonicity.
+        values = [v for _, v in buckets]
+        assert values == sorted(values)
+        (count,) = [v for n, _, v in hist_samples if n == "gmt_lat_ns_count"]
+        (total,) = [v for n, _, v in hist_samples if n == "gmt_lat_ns_sum"]
+        assert count == 3.0 and total == 520.0
+
+    def test_help_escaping_newline_and_backslash(self):
+        reg = MetricsRegistry()
+        reg.counter("gmt_x", help="line one\nline two with C:\\path")
+        text = prometheus_text(reg)
+        help_line = next(l for l in text.splitlines() if l.startswith("# HELP"))
+        # The rendered HELP stays on one physical line...
+        assert help_line == "# HELP gmt_x_total line one\\nline two with C:\\\\path"
+        parsed = parse_prometheus(text)
+        # ...and the whole exposition still parses sample-for-sample.
+        assert parsed["gmt_x_total"]["samples"][0][2] == 0.0
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry(const_labels={"desc": 'quote " slash \\ nl \n end'})
+        reg.counter("gmt_y")
+        parsed = parse_prometheus(prometheus_text(reg))
+        ((_, labels, _),) = parsed["gmt_y_total"]["samples"]
+        assert labels["desc"] == 'quote " slash \\ nl \n end'
+
+    def test_shared_header_across_registries(self):
+        regs = []
+        for app in ("bfs", "pagerank"):
+            reg = MetricsRegistry(const_labels={"app": app})
+            reg.counter("gmt_z", help="shared").inc()
+            regs.append(reg)
+        text = prometheus_text(regs)
+        assert text.count("# TYPE gmt_z_total counter") == 1
+        parsed = parse_prometheus(text)
+        apps = {l["app"] for _, l, _ in parsed["gmt_z_total"]["samples"]}
+        assert apps == {"bfs", "pagerank"}
+
+
+class TestChromeTraceInvariants:
+    def make_tracer(self):
+        tracer = SpanTracer()
+        tracer.record("miss", "access", 3000.0, 500.0, page=1)
+        tracer.record("evict", "tiering", 1000.0, 200.0)  # argless, earlier
+        tracer.instant("marker", "debug", 2000.0)
+        return tracer
+
+    def test_metadata_leads_and_events_sorted_by_ts(self):
+        events = chrome_trace_events({"run": self.make_tracer()})
+        kinds = [e["ph"] for e in events]
+        first_timed = kinds.index(next(k for k in kinds if k != "M"))
+        assert all(k == "M" for k in kinds[:first_timed])
+        timed = [e for e in events if e["ph"] != "M"]
+        assert [e["ts"] for e in timed] == sorted(e["ts"] for e in timed)
+
+    def test_argless_events_omit_args_key_entirely(self):
+        events = chrome_trace_events({"run": self.make_tracer()})
+        evict = next(e for e in events if e["ph"] != "M" and e["name"] == "evict")
+        assert "args" not in evict
+        miss = next(e for e in events if e["ph"] != "M" and e["name"] == "miss")
+        assert miss["args"] == {"page": 1}
+
+    def test_json_serialisable_and_no_nulls(self):
+        events = chrome_trace_events({"run": self.make_tracer()})
+        payload = json.loads(json.dumps(events))
+        for event in payload:
+            assert None not in event.values()
+
+    def test_track_metadata_matches_events(self):
+        events = chrome_trace_events({"run": self.make_tracer()})
+        tracks = {
+            (m["pid"], m["tid"]): m["args"]["name"]
+            for m in events
+            if m["ph"] == "M" and m["name"] == "thread_name"
+        }
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            assert (event["pid"], event["tid"]) in tracks
+            assert tracks[(event["pid"], event["tid"])].startswith(event["name"])
+
+    def test_tenant_spans_split_into_suffixed_lanes(self):
+        tracer = SpanTracer()
+        tracer.record("miss", "access", 0.0, 10.0, tenant="bfs", page=3)
+        tracer.record("miss", "access", 20.0, 10.0, tenant="pagerank", page=4)
+        tracer.record("miss", "access", 40.0, 10.0, page=5)  # solo lane
+        events = chrome_trace_events({"serve": tracer})
+        lanes = {
+            m["args"]["name"]: m["tid"]
+            for m in events
+            if m["ph"] == "M" and m["name"] == "thread_name"
+        }
+        assert set(lanes) == {"miss", "miss [bfs]", "miss [pagerank]"}
+        by_page = {
+            e["args"]["page"]: e["tid"] for e in events if e["ph"] == "X"
+        }
+        assert by_page[3] == lanes["miss [bfs]"]
+        assert by_page[4] == lanes["miss [pagerank]"]
+        assert by_page[5] == lanes["miss"]
+
+    def test_instants_carry_scope(self):
+        events = chrome_trace_events({"run": self.make_tracer()})
+        marker = next(e for e in events if e["ph"] == "i")
+        assert marker["s"] == "t"
+        assert "dur" not in marker
+
+    def test_lifecycle_events_merge_onto_same_axis(self):
+        rec = LifecycleRecorder()
+        clock = {"ns": 0.0}
+        rec.clock = lambda: clock["ns"]
+        clock["ns"] = 1500.0
+        rec.emit(LifecycleKind.ADMIT, 9, access=1, cause="demand-miss")
+        merged = chrome_trace_events({"run": self.make_tracer()}) + lifecycle_trace_events(
+            rec.events(), pid=1
+        )
+        payload = json.loads(json.dumps({"traceEvents": merged}))
+        admits = [
+            e
+            for e in payload["traceEvents"]
+            if e.get("cat") == "lifecycle" and e["name"] == "admit"
+        ]
+        assert len(admits) == 1
+        assert admits[0]["ts"] == 1.5  # ns -> us, same unit as the span lanes
+        assert math.isclose(
+            admits[0]["ts"] * 1000.0, 1500.0
+        )

@@ -154,6 +154,43 @@ class TestWindows:
             rt.stats.coalesced_accesses
         )
 
+    def test_run_flushes_the_final_partial_window(self):
+        from repro.sim.gpu import WarpAccess
+
+        rt = GMTRuntime(make_config())
+        tel = rt.attach_telemetry(Telemetry(window=500))
+        # 1234 accesses = two full windows + one 234-access tail.
+        rng = random.Random(4)
+        rt.run(
+            WarpAccess(pages=(rng.randrange(1024),)) for _ in range(1234)
+        )
+        wins = tel.windows()
+        assert wins[-1]["position"] == rt.stats.coalesced_accesses
+        assert sum(w["gmt_coalesced_accesses"] for w in wins) == (
+            rt.stats.coalesced_accesses
+        )
+
+    def test_flush_is_idempotent_and_skips_empty_tails(self):
+        rt = GMTRuntime(make_config())
+        tel = rt.attach_telemetry(Telemetry(window=500))
+        for p in random_pages(n=500):
+            rt.access(p)
+        count = len(tel.windows())  # the full window was cut on its edge
+        tel.finish()
+        assert len(tel.windows()) == count  # nothing pending: no new window
+        tel.finish()
+        assert len(tel.windows()) == count
+
+    def test_detach_flushes_pending_tail(self):
+        rt = GMTRuntime(make_config())
+        tel = rt.attach_telemetry(Telemetry(window=500))
+        for p in random_pages(n=750):
+            rt.access(p)
+        rt.detach_telemetry()
+        wins = tel.windows()
+        assert wins[-1]["position"] == 750
+        assert sum(w["span"] for w in wins) == 750
+
     def test_windows_align_with_stats_timeline(self):
         rt = GMTRuntime(make_config())
         tel = rt.attach_telemetry(Telemetry(window=10_000_000))
