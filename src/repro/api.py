@@ -19,17 +19,31 @@ The names here are covered by the compatibility promise in
   :func:`run_cells` — the parallel, cache-aware executor behind the CLI.
 - Serving: :func:`serve` — one call from workload names to a
   :class:`~repro.serve.server.ServeResult`.
+- Conformance: :func:`run_conformance` (differential/metamorphic check
+  over one trace, see ``gmt-check``), :func:`audit_runtime` /
+  :func:`audit_stats` (post-run stats-identity audits, return
+  :class:`Violation` lists), :func:`assert_conformant`,
+  :class:`CheckReport`, :exc:`ConformanceError`.
 """
 
 from __future__ import annotations
 
 from repro.baselines import BamRuntime, DragonRuntime, HmmRuntime
+from repro.check import (
+    CheckReport,
+    Violation,
+    assert_conformant,
+    audit_runtime,
+    audit_stats,
+    run_conformance,
+)
 from repro.core import GMTConfig, GMTRuntime, RunResult, RuntimeStats
 from repro.core.config import DEFAULT_SCALE
 from repro.experiments.engine import Cell, Engine, EngineStats, ResultCache, run_cells
 from repro.experiments.harness import ExperimentResult, default_config
 from repro.experiments.runner import EXPERIMENTS, get_spec, run_experiment
 from repro.experiments.spec import CellResults, ExperimentSpec, run_spec
+from repro.errors import ConformanceError
 from repro.sim import PlatformModel
 
 #: The configuration type under its role name.  ``RuntimeConfig`` is the
@@ -72,6 +86,8 @@ __all__ = [
     "BamRuntime",
     "Cell",
     "CellResults",
+    "CheckReport",
+    "ConformanceError",
     "DEFAULT_SCALE",
     "DragonRuntime",
     "EXPERIMENTS",
@@ -87,9 +103,14 @@ __all__ = [
     "RunResult",
     "RuntimeConfig",
     "RuntimeStats",
+    "Violation",
+    "assert_conformant",
+    "audit_runtime",
+    "audit_stats",
     "default_config",
     "get_spec",
     "run_cells",
+    "run_conformance",
     "run_experiment",
     "run_spec",
     "serve",

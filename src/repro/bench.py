@@ -60,7 +60,14 @@ BASELINE_VERSION = 1
 
 
 def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
-    """Replay one cell and return its metric record (wall_s last)."""
+    """Replay one cell and return its metric record (wall_s last).
+
+    Every replay ends with the full conformance audit
+    (:func:`repro.check.identities.assert_conformant`): a baseline
+    recorded from a run that violates the stats identities would gate
+    future runs against garbage, so the bench refuses to produce one.
+    """
+    from repro.check.identities import assert_conformant
     from repro.experiments.harness import build_runtime, default_config, get_workload
 
     config = default_config(scale)
@@ -69,6 +76,7 @@ def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
     start = _clock()
     result = runtime.run(workload)
     wall_s = _clock() - start
+    assert_conformant(runtime)
     record = {
         "elapsed_ns": float(result.elapsed_ns),
         "ssd_io_bytes": float(result.ssd_io_bytes),

@@ -1,0 +1,53 @@
+"""Conformance checking: stats identities, differential and metamorphic
+replays, seeded-corruption self-tests (the ``gmt-check`` CLI).
+
+Quick use::
+
+    from repro.check import audit_runtime, assert_conformant
+    violations = audit_runtime(runtime)      # [] when everything holds
+
+    from repro.check import run_conformance
+    report = run_conformance("bfs", scale=8192)
+    assert report.ok, report.summary_lines()
+
+See :mod:`repro.check.identities` for the catalogue and
+``docs/conformance.md`` for the derivations.
+"""
+
+from repro.check.differential import (
+    DEFAULT_RUNTIMES,
+    INJECTIONS,
+    CheckReport,
+    RunReport,
+    check_degenerate_bam,
+    check_determinism,
+    check_solo_serve,
+    run_conformance,
+)
+from repro.check.identities import (
+    CATALOG,
+    CATALOG_NAMES,
+    Violation,
+    assert_conformant,
+    audit_runtime,
+    audit_split,
+    audit_stats,
+)
+
+__all__ = [
+    "CATALOG",
+    "CATALOG_NAMES",
+    "CheckReport",
+    "DEFAULT_RUNTIMES",
+    "INJECTIONS",
+    "RunReport",
+    "Violation",
+    "assert_conformant",
+    "audit_runtime",
+    "audit_split",
+    "audit_stats",
+    "check_degenerate_bam",
+    "check_determinism",
+    "check_solo_serve",
+    "run_conformance",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.check`` == ``gmt-check``."""
+
+import sys
+
+from repro.check.cli import main
+
+sys.exit(main())

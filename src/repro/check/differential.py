@@ -1,0 +1,349 @@
+"""Differential conformance: one trace, every runtime, every identity.
+
+:func:`run_conformance` replays one workload through the comparison
+runtimes (GMT-Reuse/TierOrder/Random, BaM, HMM by default), audits each
+against the identity catalogue (:mod:`repro.check.identities`), then runs
+the cross-runtime and metamorphic checks:
+
+- **cross-runtime-trace** — all runtimes must observe the identical
+  coalesced access stream (policies decide placement, never the trace);
+- **metamorphic-degenerate-bam** — GMT with ``tier2_frames=0`` and the
+  tier-order policy must be counter-identical to the BaM baseline;
+- **metamorphic-determinism** — a second replay from the same seed must
+  reproduce the first byte for byte;
+- **metamorphic-solo-serve** — serving a single tenant through
+  :mod:`repro.serve` must reproduce the plain single-stream replay.
+
+:data:`INJECTIONS` hosts seeded corruptions (a page resident in two
+tiers, a drifted counter, a dropped writeback) used to prove the net
+actually catches what it claims to — ``gmt-check --inject`` must exit
+non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.bam import BamRuntime
+from repro.core.config import PAPER_OVERSUBSCRIPTION, GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.errors import ConfigError
+from repro.experiments.harness import (
+    RUNTIME_KINDS,
+    RUNTIME_LABELS,
+    build_runtime,
+    default_config,
+    get_workload,
+)
+from repro.check.identities import (
+    Violation,
+    audit_runtime,
+    audit_split,
+    audit_stats,
+)
+
+#: The default differential matrix: the paper's three GMT policies plus
+#: both orchestration baselines.
+DEFAULT_RUNTIMES: tuple[str, ...] = ("bam", "tier-order", "random", "reuse", "hmm")
+
+
+# ----------------------------------------------------------------------
+# seeded corruptions (self-test: the net must catch these)
+# ----------------------------------------------------------------------
+def _inject_dup_resident(runtime: GMTRuntime) -> str:
+    """Make one page resident in both tiers (migration-state corruption)."""
+    t2_page = next(iter(runtime.tier2), None)
+    if t2_page is None:
+        raise ConfigError(
+            "dup-resident needs a Tier-2 resident page; run a 3-tier "
+            "runtime (not bam) with enough trace to populate Tier-2"
+        )
+    t1_page = next(iter(runtime.tier1))
+    runtime.tier1.remove(t1_page)
+    runtime.tier1.insert(t2_page)
+    return f"page {t2_page} now resident in Tier-1 and Tier-2"
+
+
+def _inject_stats_drift(runtime: GMTRuntime) -> str:
+    """Phantom hit: the kind of double-count a refactor introduces."""
+    runtime.stats.t1_hits += 1
+    return "t1_hits incremented without an access"
+
+
+def _inject_lost_writeback(runtime: GMTRuntime) -> str:
+    """Drop one writeback from the books (silent data-loss accounting)."""
+    if runtime.stats.ssd_page_writes == 0:
+        raise ConfigError(
+            "lost-writeback needs at least one recorded writeback; use a "
+            "trace with dirty evictions"
+        )
+    runtime.stats.ssd_page_writes -= 1
+    return "one ssd_page_write erased"
+
+
+INJECTIONS = {
+    "dup-resident": _inject_dup_resident,
+    "stats-drift": _inject_stats_drift,
+    "lost-writeback": _inject_lost_writeback,
+}
+
+
+# ----------------------------------------------------------------------
+# report containers
+# ----------------------------------------------------------------------
+@dataclass
+class RunReport:
+    """One runtime's replay and audit outcome."""
+
+    kind: str
+    label: str
+    elapsed_ns: float
+    stats: dict
+    violations: list[Violation] = field(default_factory=list)
+
+
+@dataclass
+class CheckReport:
+    """Everything one :func:`run_conformance` invocation established."""
+
+    app: str
+    scale: int
+    seed: int
+    runs: list[RunReport] = field(default_factory=list)
+    #: (context, violation): context is a runtime label or check name.
+    violations: list[tuple[str, Violation]] = field(default_factory=list)
+    checks_run: list[str] = field(default_factory=list)
+    injected: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, context: str, violations) -> None:
+        for violation in violations:
+            self.violations.append((context, violation))
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"gmt-check {self.app} (scale {self.scale}, seed {self.seed}): "
+            f"{len(self.runs)} runtime(s), {len(self.checks_run)} check "
+            f"group(s)"
+            + (f", injected corruption: {self.injected}" if self.injected else "")
+        ]
+        for run in self.runs:
+            status = "FAIL" if run.violations else "ok"
+            lines.append(
+                f"  [{status}] {run.label}: "
+                f"{run.stats['coalesced_accesses']:.0f} accesses, "
+                f"{run.stats['t1_misses']:.0f} misses, "
+                f"elapsed {run.elapsed_ns / 1e6:.2f} ms"
+            )
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            lines.extend(f"  - [{ctx}] {v}" for ctx, v in self.violations)
+        else:
+            lines.append("all identities hold")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# the differential harness
+# ----------------------------------------------------------------------
+def _audited_replay(kind: str, config: GMTConfig, workload, check_every):
+    runtime = build_runtime(kind, config)
+    if check_every is not None:
+        runtime.enable_periodic_checks(check_every)
+    result = runtime.run(workload)
+    return runtime, result
+
+
+def run_conformance(
+    app: str,
+    scale: int,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+    runtimes: tuple[str, ...] = DEFAULT_RUNTIMES,
+    check_every: int | None = None,
+    prefetch_degree: int = 0,
+    time_model: str = "bottleneck",
+    metamorphic: bool = True,
+    serve: bool = True,
+    inject: str | None = None,
+) -> CheckReport:
+    """Replay ``app`` through ``runtimes`` and audit everything.
+
+    Args:
+        app: Table 2 workload name.
+        scale: byte-scale divisor (trace and geometry size).
+        oversubscription: working set over Tier-1+Tier-2 capacity.
+        seed: trace RNG seed.
+        runtimes: runtime kinds to replay (see ``RUNTIME_KINDS``).
+        check_every: also run the audit *during* each replay, every this
+            many coalesced accesses (None = post-run only).
+        prefetch_degree: sequential prefetch window — non-zero exercises
+            the prefetch/eviction accounting paths.
+        time_model: "bottleneck" or "queueing"; the queueing model adds
+            the link-conservation identities to the audit.
+        metamorphic: run the degenerate-BaM and determinism checks.
+        serve: run the 1-tenant-serve-equals-solo check (plus the
+            tenant-slice conservation audit).
+        inject: name from :data:`INJECTIONS` — corrupt the *first listed
+            3-tier runtime* after its replay and before its audit, to
+            prove detection end-to-end.
+
+    Periodic checking is disabled for the metamorphic re-runs (the first
+    pass already audited the trace; the re-runs only compare outcomes).
+    """
+    for kind in runtimes:
+        if kind not in RUNTIME_KINDS:
+            raise ConfigError(
+                f"unknown runtime kind {kind!r}; expected one of {RUNTIME_KINDS}"
+            )
+    if inject is not None and inject not in INJECTIONS:
+        raise ConfigError(
+            f"unknown injection {inject!r}; expected one of "
+            f"{tuple(INJECTIONS)}"
+        )
+
+    config = default_config(
+        scale, prefetch_degree=prefetch_degree, time_model=time_model
+    )
+    workload = get_workload(app, config, oversubscription, seed=seed)
+    if prefetch_degree > 0:
+        # The satellite fix under test: the prefetcher must know where
+        # the workload's address space ends.
+        config = replace(config, footprint_pages=workload.footprint_pages)
+
+    report = CheckReport(app=app, scale=scale, seed=seed)
+    inject_target = None
+    if inject is not None:
+        three_tier = [k for k in runtimes if k != "bam"]
+        if not three_tier and inject == "dup-resident":
+            raise ConfigError("dup-resident needs a 3-tier runtime in --runtimes")
+        inject_target = (three_tier or list(runtimes))[0]
+
+    report.checks_run.append("per-runtime-audit")
+    results = {}
+    for kind in runtimes:
+        runtime, result = _audited_replay(kind, config, workload, check_every)
+        if kind == inject_target:
+            report.injected = f"{inject} into {RUNTIME_LABELS[kind]}: " + (
+                INJECTIONS[inject](runtime)
+            )
+        violations = audit_runtime(runtime)
+        run = RunReport(
+            kind=kind,
+            label=RUNTIME_LABELS[kind],
+            elapsed_ns=result.elapsed_ns,
+            stats=result.stats.as_dict(),
+            violations=violations,
+        )
+        report.runs.append(run)
+        report.add(run.label, violations)
+        results[kind] = result
+
+    # -- cross-runtime: the trace is policy-independent -----------------
+    report.checks_run.append("cross-runtime-trace")
+    reference_kind = runtimes[0]
+    reference = results[reference_kind]
+    for kind in runtimes[1:]:
+        for metric in ("warp_instructions", "coalesced_accesses"):
+            got = getattr(results[kind].stats, metric)
+            want = getattr(reference.stats, metric)
+            if got != want:
+                report.add(
+                    "cross-runtime",
+                    [
+                        Violation(
+                            "cross-runtime-trace",
+                            f"{RUNTIME_LABELS[kind]} saw {metric}={got}, "
+                            f"{RUNTIME_LABELS[reference_kind]} saw {want}",
+                        )
+                    ],
+                )
+
+    if metamorphic:
+        report.checks_run.append("metamorphic-degenerate-bam")
+        report.add("metamorphic", check_degenerate_bam(config, workload))
+        report.checks_run.append("metamorphic-determinism")
+        determinism_kind = "reuse" if "reuse" in runtimes else runtimes[0]
+        report.add(
+            "metamorphic", check_determinism(determinism_kind, config, workload)
+        )
+    if serve:
+        report.checks_run.append("metamorphic-solo-serve")
+        report.add("serve", check_solo_serve(app, config, oversubscription, seed))
+    return report
+
+
+# ----------------------------------------------------------------------
+# metamorphic checks (importable individually by tests)
+# ----------------------------------------------------------------------
+def _diff_counters(name: str, left, right, left_label: str, right_label: str):
+    """Counter-level equality between two RunResults."""
+    violations = []
+    for counter in type(left.stats).counter_names():
+        lhs = getattr(left.stats, counter)
+        rhs = getattr(right.stats, counter)
+        if lhs != rhs:
+            violations.append(
+                Violation(
+                    name,
+                    f"{counter}: {left_label}={lhs} vs {right_label}={rhs}",
+                )
+            )
+    if left.elapsed_ns != right.elapsed_ns:
+        violations.append(
+            Violation(
+                name,
+                f"elapsed_ns: {left_label}={left.elapsed_ns!r} vs "
+                f"{right_label}={right.elapsed_ns!r}",
+            )
+        )
+    return violations
+
+
+def check_degenerate_bam(config: GMTConfig, workload) -> list[Violation]:
+    """GMT(tier2_frames=0, tier-order) must equal BaM on the same trace."""
+    degenerate = GMTRuntime(
+        replace(config, tier2_frames=0, policy="tier-order")
+    ).run(workload)
+    bam = BamRuntime(config).run(workload)
+    return _diff_counters(
+        "metamorphic-degenerate-bam", degenerate, bam, "GMT(t2=0)", "BaM"
+    )
+
+
+def check_determinism(kind: str, config: GMTConfig, workload) -> list[Violation]:
+    """Two fresh replays of the same (config, workload) must be identical."""
+    first = build_runtime(kind, config).run(workload)
+    second = build_runtime(kind, config).run(workload)
+    return _diff_counters(
+        "metamorphic-determinism", first, second, "run-1", "run-2"
+    )
+
+
+def check_solo_serve(
+    app: str,
+    config: GMTConfig,
+    oversubscription: float = PAPER_OVERSUBSCRIPTION,
+    seed: int = 0,
+) -> list[Violation]:
+    """1-tenant serving must reproduce the single-stream replay, and the
+    tenant slices must conserve the aggregate counters."""
+    from repro.serve import TenantServer, build_tenants
+
+    workload = get_workload(app, config, oversubscription, seed=seed)
+    solo = GMTRuntime(config).run(workload)
+    streams = build_tenants([app], config, oversubscription=oversubscription,
+                            seed=seed)
+    server = TenantServer(config, streams)
+    outcome = server.run(solo_baselines=False)
+    violations = _diff_counters(
+        "metamorphic-solo-serve", outcome.result, solo, "served", "solo"
+    )
+    violations.extend(
+        audit_split(server.runtime.stats, server.runtime.tenant_stats)
+    )
+    violations.extend(audit_stats(server.runtime.stats))
+    return violations

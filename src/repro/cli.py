@@ -64,6 +64,18 @@ def _common_parser(prog: str, description: str) -> argparse.ArgumentParser:
     return parser
 
 
+def _add_check_every(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run the conformance audit (structural invariants + stats "
+        "identities, see gmt-check) every N coalesced accesses; a "
+        "violation aborts the run",
+    )
+
+
 def main_sim(argv: list[str] | None = None) -> int:
     """Entry point for ``gmt-sim``."""
     parser = _common_parser("gmt-sim", "Replay one workload through runtimes")
@@ -102,6 +114,7 @@ def main_sim(argv: list[str] | None = None) -> int:
         "them to PATH as JSONL (one file, 'kind' key tells runtimes "
         "apart; feed back via gmt-why --from)",
     )
+    _add_check_every(parser)
     args = parser.parse_args(argv)
 
     config = default_config(args.scale, platform=get_platform(args.platform))
@@ -117,6 +130,8 @@ def main_sim(argv: list[str] | None = None) -> int:
     results = {}
     for kind in args.runtimes:
         runtime = build_runtime(kind, config)
+        if args.check_every is not None:
+            runtime.enable_periodic_checks(args.check_every)
         if telemetry_on:
             from repro.obs import Telemetry
 
@@ -316,6 +331,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         default=None,
         help="write a Prometheus snapshot with tenant-labelled series to PATH",
     )
+    _add_check_every(parser)
     args = parser.parse_args(argv)
 
     config = default_config(
@@ -333,10 +349,19 @@ def main_serve(argv: list[str] | None = None) -> int:
         discipline=args.discipline,
         quota=QuotaConfig(mode=args.quotas),
     )
+    if args.check_every is not None:
+        server.runtime.enable_periodic_checks(args.check_every)
     telemetry = None
     if args.trace_out is not None or args.metrics_out is not None:
         telemetry = server.attach_telemetry()
     outcome = server.run(solo_baselines=not args.no_solo)
+    if args.check_every is not None:
+        # Post-run: the full audit plus tenant-slice conservation.
+        from repro.check.identities import audit_split, ConformanceError
+
+        violations = audit_split(server.runtime.stats, server.runtime.tenant_stats)
+        if violations:
+            raise ConformanceError(violations)
     print(outcome.to_table())
 
     if args.trace_out is not None:

@@ -85,6 +85,14 @@ class GMTConfig:
     #: fast, the default) or "queueing" (explicit virtual-time service
     #: network, :mod:`repro.sim.queueing`).
     time_model: str = "bottleneck"
+    #: Number of pages the workload's address space actually spans (the
+    #: workload's ``footprint_pages``).  When set, the sequential
+    #: prefetcher clamps its window to it — without the bound it would
+    #: fabricate page-table entries and SSD reads for pages the trace can
+    #: never touch.  None (the default) leaves the prefetcher unbounded,
+    #: matching runs whose page-id space is open-ended (e.g. the
+    #: namespaced multi-tenant serving layer).
+    footprint_pages: int | None = None
 
     def __post_init__(self) -> None:
         if self.tier1_frames <= 0:
@@ -109,6 +117,11 @@ class GMTConfig:
             raise ConfigError("sampling parameters must be positive")
         if self.prefetch_degree < 0:
             raise ConfigError(f"prefetch_degree must be >= 0: {self.prefetch_degree}")
+        if self.footprint_pages is not None and self.footprint_pages <= 0:
+            raise ConfigError(
+                f"footprint_pages must be positive (or None), got "
+                f"{self.footprint_pages}"
+            )
         if self.time_model not in ("bottleneck", "queueing"):
             raise ConfigError(
                 f"time_model must be 'bottleneck' or 'queueing', got "

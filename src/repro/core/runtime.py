@@ -158,6 +158,11 @@ class GMTRuntime:
         self._fx_writeback = False
         self._fx_t2_place = False
         self._fx_t2_evict = False
+        #: Periodic conformance checking: when set, ``access`` runs
+        #: :meth:`check_invariants` plus the stats-identity audit every
+        #: this many coalesced accesses (None = never, the hot-path
+        #: default — one attribute check per access, like telemetry).
+        self._check_every: int | None = None
         self.name = f"GMT-{self.policy.name}"
 
     def _make_stats(self) -> RuntimeStats:
@@ -257,6 +262,27 @@ class GMTRuntime:
         self._flight = None
 
     # ------------------------------------------------------------------
+    # periodic conformance checking (optional, see repro.check)
+    # ------------------------------------------------------------------
+    def enable_periodic_checks(self, every: int | None = 10_000) -> None:
+        """Audit the runtime every ``every`` coalesced accesses.
+
+        Each audit runs :meth:`check_invariants` (structural: capacities,
+        no page resident in two tiers, page-table/membership agreement)
+        plus the stats-identity catalogue
+        (:func:`repro.check.identities.assert_conformant`).  ``None``
+        disables and restores the null-sink fast path.
+        """
+        if every is not None and every < 1:
+            raise SimulationError(f"check interval must be >= 1, got {every}")
+        self._check_every = every
+
+    def _periodic_check(self) -> None:
+        from repro.check.identities import assert_conformant
+
+        assert_conformant(self)
+
+    # ------------------------------------------------------------------
     # access path
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[WarpAccess]) -> RunResult:
@@ -277,6 +303,14 @@ class GMTRuntime:
 
     def access(self, page: int, write: bool = False) -> None:
         """One coalesced access to ``page``."""
+        if (
+            self._check_every is not None
+            and self.stats.coalesced_accesses
+            and self.stats.coalesced_accesses % self._check_every == 0
+        ):
+            # Audit between accesses: the previous access fully settled,
+            # this one has not touched any counter yet.
+            self._periodic_check()
         state = self.page_table.lookup(page)
         vtd = self.vts.observe_access(state)
         self.policy.on_access(state, vtd)
@@ -356,9 +390,6 @@ class GMTRuntime:
                     latency_ns=platform.ssd_read_latency_ns,
                 )
 
-        self._fx_writeback = False
-        self._fx_t2_place = False
-        self._fx_t2_evict = False
         eviction_ns = self._ensure_tier1_frame()
         if not self.config.async_evictions:
             # Demand-miss path waits for the frame to be freed; with
@@ -370,6 +401,8 @@ class GMTRuntime:
             if self.config.async_evictions:
                 if self._fx_writeback:
                     queueing.on_background_io(self.config.page_size, write=True)
+                if self._fx_t2_place:
+                    queueing.on_background_pcie(self.config.page_size)
                 sync_writeback = sync_place = sync_evict = False
             else:
                 sync_writeback = self._fx_writeback
@@ -408,8 +441,15 @@ class GMTRuntime:
         accounted; the demand miss does not wait), enter the clock with
         their reference bit clear so unused ones are evicted first, and
         defer policy fill bookkeeping to their first demand access.
+
+        The window never crosses ``config.footprint_pages``: pages past
+        the workload's address space do not exist, so reading them would
+        fabricate page-table entries and phantom SSD traffic.
         """
-        for candidate in range(page + 1, page + 1 + self.config.prefetch_degree):
+        stop = page + 1 + self.config.prefetch_degree
+        if self.config.footprint_pages is not None:
+            stop = min(stop, self.config.footprint_pages)
+        for candidate in range(page + 1, stop):
             state = self.page_table.lookup(candidate)
             if state.location is not PageLocation.TIER3:
                 continue
@@ -430,6 +470,15 @@ class GMTRuntime:
             eviction_ns = self._ensure_tier1_frame()
             if not self.config.async_evictions:
                 self.cost.add_fault_latency(eviction_ns)
+            if queueing is not None:
+                # The eviction making room for this prefetch happens off
+                # every demand miss's critical path, but its traffic still
+                # occupies the shared links: dirty victims write to the
+                # SSD, Tier-2 placements cross PCIe.
+                if self._fx_writeback:
+                    queueing.on_background_io(self.config.page_size, write=True)
+                if self._fx_t2_place:
+                    queueing.on_background_pcie(self.config.page_size)
             self.tier1.insert(candidate)
             self.t1_clock.insert(candidate, referenced=False)
             state.location = PageLocation.TIER1
@@ -458,6 +507,16 @@ class GMTRuntime:
 
     def _ensure_tier1_frame(self) -> float:
         """Free one Tier-1 frame if needed; returns critical-path ns spent."""
+        # Reset the eviction scratch unconditionally, *before* the
+        # no-eviction early return: both the side-effect flags read by the
+        # queueing model and the cause/prediction stamps read by the
+        # lifecycle leaves must describe *this* call, never a previous
+        # eviction's (demand, prefetch and quota paths all land here).
+        self._fx_writeback = False
+        self._fx_t2_place = False
+        self._fx_t2_evict = False
+        self._fx_cause = ""
+        self._fx_predicted = None
         if not self._tier1_needs_eviction():
             return 0.0
 
@@ -498,19 +557,20 @@ class GMTRuntime:
         if plan.forced_tier2:
             self.stats.forced_t2_placements += 1
 
-        if self._flight is not None:
-            # Stamp the decision's reasoning for the lifecycle leaves below.
-            self._fx_predicted = _predicted_name(plan)
-            if plan.forced_tier2:
-                self._fx_cause = "heuristic-forced-tier2"
-            elif overridden:
-                self._fx_cause = "retention-override"
-            elif plan.from_fallback:
-                self._fx_cause = "cold-fallback"
-            elif plan.predicted_class is not None:
-                self._fx_cause = f"predicted-{self._fx_predicted}"
-            else:
-                self._fx_cause = "policy-static"
+        # Stamp the decision's reasoning for the lifecycle leaves below.
+        # Unconditional (not gated on the flight recorder) so the scratch
+        # is always trustworthy — conformance audits read it too.
+        self._fx_predicted = _predicted_name(plan)
+        if plan.forced_tier2:
+            self._fx_cause = "heuristic-forced-tier2"
+        elif overridden:
+            self._fx_cause = "retention-override"
+        elif plan.from_fallback:
+            self._fx_cause = "cold-fallback"
+        elif plan.predicted_class is not None:
+            self._fx_cause = f"predicted-{self._fx_predicted}"
+        else:
+            self._fx_cause = "policy-static"
 
         if plan.decision is PlacementDecision.PLACE_TIER2 and self.tier2.capacity > 0:
             allow_eviction = self.policy.tier2_evicts_on_full and not plan.forced_tier2
@@ -536,15 +596,13 @@ class GMTRuntime:
             # Tier-2 quotas): the page is denied a host-memory frame and
             # takes the Tier-3 bypass path instead.
             self.stats.t2_quota_denials += 1
-            if self._flight is not None:
-                self._fx_cause = "t2-quota-denied"
+            self._fx_cause = "t2-quota-denied"
             return self._bypass_to_tier3(state)
         ns = 0.0
         if self.tier2.full:
             if not allow_eviction:
                 self.stats.t2_full_bypasses += 1
-                if self._flight is not None:
-                    self._fx_cause = "t2-full-bypass"
+                self._fx_cause = "t2-full-bypass"
                 return self._bypass_to_tier3(state)
             ns += self._evict_from_tier2()
 
@@ -600,9 +658,10 @@ class GMTRuntime:
             )
         # Running the Tier-2 replacement mechanism is itself GPU work over
         # host-resident metadata (section 2.1.1's third drawback).
-        return (
-            self.config.platform.tier2_eviction_ns + self._writeback_if_dirty(vstate)
-        )
+        writeback_ns = self._writeback_if_dirty(vstate)
+        if writeback_ns == 0.0:
+            self.stats.t2_clean_evictions += 1
+        return self.config.platform.tier2_eviction_ns + writeback_ns
 
     def _bypass_to_tier3(self, state: PageState) -> float:
         """Evict without a Tier-2 copy: discard clean, write back dirty."""

@@ -52,6 +52,7 @@ class RuntimeStats:
         "ssd_page_ios": "Total NVMe page commands (reads + writes)",
         "quota_evictions": "Tier-1 evictions forced by a tenant frame quota (repro.serve)",
         "t2_quota_denials": "Tier-2 placements denied by per-tenant admission control",
+        "t2_clean_evictions": "Tier-2 evictions of clean pages (no writeback issued)",
     }
 
     # --- access stream ----------------------------------------------------
@@ -72,6 +73,7 @@ class RuntimeStats:
     t2_placements: int = 0             # Tier-1 evictions placed into Tier-2
     t2_fetches: int = 0                # Tier-2 pages promoted to Tier-1
     t2_evictions: int = 0              # FIFO/clock evictions out of Tier-2
+    t2_clean_evictions: int = 0        # Tier-2 evictions dropped without a writeback
     t2_full_bypasses: int = 0          # GMT-Reuse: no free slot -> bypass
     forced_t2_placements: int = 0      # 80% Tier-3-bias heuristic overrides
 

@@ -30,3 +30,15 @@ class TraceError(GMTError):
 
 class SimulationError(GMTError):
     """The simulated platform reached an inconsistent state."""
+
+
+class ConformanceError(SimulationError):
+    """A conformance audit found violated invariants or stats identities
+    (see :mod:`repro.check`).  Carries the individual violations."""
+
+    def __init__(self, violations) -> None:
+        self.violations = list(violations)
+        lines = "\n".join(f"  - {v}" for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} conformance violation(s):\n{lines}"
+        )

@@ -148,11 +148,19 @@ def execute_cell(cell: Cell):
     return fn(**cell.kwargs())
 
 
-def _worker_init(telemetry_dir: str | None, telemetry_lifecycle: bool = False) -> None:
+def _worker_init(
+    telemetry_dir: str | None,
+    telemetry_lifecycle: bool = False,
+    check_every: int | None = None,
+) -> None:
     if telemetry_dir:
         from repro.experiments.harness import set_telemetry_dir
 
         set_telemetry_dir(telemetry_dir, lifecycle=telemetry_lifecycle)
+    if check_every is not None:
+        from repro.experiments.harness import set_check_every
+
+        set_check_every(check_every)
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +313,10 @@ class Engine:
             export telemetry exactly like the serial path.
         telemetry_lifecycle: also record/export the page-lifecycle
             flight recorder per replay (needs ``telemetry_dir``).
+        check_every: forwarded to pool workers so uncached replays run
+            periodic conformance audits (see
+            ``repro.experiments.harness.set_check_every``) exactly like
+            the serial path.
     """
 
     def __init__(
@@ -316,6 +328,7 @@ class Engine:
         progress: Callable[[str], None] | None = None,
         telemetry_dir: str | None = None,
         telemetry_lifecycle: bool = False,
+        check_every: int | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -326,6 +339,7 @@ class Engine:
         self.progress = progress
         self.telemetry_dir = telemetry_dir
         self.telemetry_lifecycle = telemetry_lifecycle
+        self.check_every = check_every
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -394,7 +408,11 @@ class Engine:
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_worker_init,
-                    initargs=(self.telemetry_dir, self.telemetry_lifecycle),
+                    initargs=(
+                        self.telemetry_dir,
+                        self.telemetry_lifecycle,
+                        self.check_every,
+                    ),
                 ) as pool:
                     yield from self._consume(pending, pool.map(execute_cell, pending))
                     return

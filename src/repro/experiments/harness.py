@@ -43,6 +43,37 @@ _telemetry_dir: str | None = None
 _telemetry_lifecycle: bool = False
 
 
+#: When set (see :func:`set_check_every`), every *uncached* replay runs
+#: with periodic conformance checking enabled at this cadence.
+_check_every: int | None = None
+
+
+def set_check_every(every: int | None) -> None:
+    """Audit every uncached replay mid-run, each ``every`` coalesced
+    accesses (None disables).  The audit is
+    :func:`repro.check.identities.assert_conformant` — structural
+    invariants plus the stats-identity catalogue — and a violation aborts
+    the replay with :class:`~repro.errors.ConformanceError`.  Like
+    telemetry, this only affects replays that actually execute; cached
+    results are reused as-is.
+    """
+    global _check_every
+    _check_every = every
+
+
+def _apply_runtime_checks(runtime: GMTRuntime) -> GMTRuntime:
+    if _check_every is not None:
+        runtime.enable_periodic_checks(_check_every)
+    return runtime
+
+
+def _with_footprint_bound(config: GMTConfig, workload: Workload) -> GMTConfig:
+    """Tell the prefetcher where the workload's address space ends."""
+    if config.prefetch_degree > 0 and config.footprint_pages is None:
+        return replace(config, footprint_pages=workload.footprint_pages)
+    return config
+
+
 def set_telemetry_dir(path: str | None, lifecycle: bool = False) -> None:
     """Enable per-replay telemetry export under ``path`` (None disables).
 
@@ -206,7 +237,8 @@ def run_app(
     result = _run_cache.get(key)
     if result is None:
         workload = get_workload(app, config, oversubscription, seed=seed)
-        runtime = build_runtime(kind, config)
+        runtime = build_runtime(kind, _with_footprint_bound(config, workload))
+        _apply_runtime_checks(runtime)
         telemetry = _attach_run_telemetry(runtime, app, kind)
         result = runtime.run(workload)
         if telemetry is not None:
@@ -235,7 +267,8 @@ def run_app_with_footprint(
         if workload is None:
             workload = make_workload(app, footprint_pages, seed=seed)
             _workload_cache[wkey] = workload
-        runtime = build_runtime(kind, config)
+        runtime = build_runtime(kind, _with_footprint_bound(config, workload))
+        _apply_runtime_checks(runtime)
         result = runtime.run(workload)
         _run_cache[key] = result
     return result
@@ -303,7 +336,8 @@ def replay_on_trace_cell(
     from ``trace_config`` — sweeps that vary a knob while holding the
     dataset fixed (SSD scaling, model validation, sweep_config)."""
     workload = get_workload(app, trace_config, oversubscription, seed=seed)
-    return build_runtime(kind, config).run(workload)
+    runtime = build_runtime(kind, _with_footprint_bound(config, workload))
+    return _apply_runtime_checks(runtime).run(workload)
 
 
 def oracle_cell(

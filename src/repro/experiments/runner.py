@@ -120,6 +120,15 @@ def main(argv: list[str] | None = None) -> int:
         "flight recorder per replay and export <app>-<kind>.lifecycle.jsonl "
         "(query with gmt-why --from)",
     )
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run the conformance audit (structural invariants + stats "
+        "identities, see gmt-check) every N coalesced accesses on every "
+        "uncached replay; a violation fails the experiment",
+    )
     args = parser.parse_args(argv)
 
     if args.telemetry_lifecycle and args.telemetry_dir is None:
@@ -128,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.harness import set_telemetry_dir
 
         set_telemetry_dir(args.telemetry_dir, lifecycle=args.telemetry_lifecycle)
+    if args.check_every is not None:
+        if args.check_every < 1:
+            parser.error("--check-every must be >= 1")
+        from repro.experiments.harness import set_check_every
+
+        set_check_every(args.check_every)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     # Validate every name up-front so a typo fails before hours of work.
@@ -141,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=_progress_printer,
         telemetry_dir=args.telemetry_dir,
         telemetry_lifecycle=args.telemetry_lifecycle,
+        check_every=args.check_every,
     )
 
     failures: dict[str, Exception] = {}

@@ -208,3 +208,27 @@ class QueueingModel:
         prefetches): occupies device bandwidth only."""
         cursor = self._ssd_write if write else self._ssd_read
         cursor.transfer(self._arrival_ns, num_bytes)
+
+    def on_background_pcie(self, num_bytes: int) -> None:
+        """A Tier-1<->Tier-2 move off every miss's critical path (async or
+        prefetch-triggered Tier-2 placements): occupies PCIe bandwidth
+        only, like :meth:`on_background_io` does for the SSD."""
+        self._pcie.transfer(self._arrival_ns, num_bytes)
+
+    # ------------------------------------------------------------------
+    # conservation probes (read-only; see repro.check.identities)
+    # ------------------------------------------------------------------
+    @property
+    def ssd_read_busy_ns(self) -> float:
+        """Aggregate SSD read wire time served so far."""
+        return self._ssd_read.busy_ns
+
+    @property
+    def ssd_write_busy_ns(self) -> float:
+        """Aggregate SSD write wire time served so far."""
+        return self._ssd_write.busy_ns
+
+    @property
+    def pcie_busy_ns(self) -> float:
+        """Aggregate PCIe wire time served so far."""
+        return self._pcie.busy_ns

@@ -1,0 +1,67 @@
+"""Tests for the ``gmt-check`` command-line interface."""
+
+import pytest
+
+from repro.check.cli import main
+from repro.check.identities import CATALOG
+
+SCALE = "8192"
+FAST = ["--no-metamorphic", "--no-serve"]
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["hotspot", "--scale", SCALE, *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out or "ok" in out
+
+    def test_full_matrix_exits_zero(self):
+        assert main(["hotspot", "--scale", SCALE]) == 0
+
+    def test_injected_corruption_exits_one(self, capsys):
+        rc = main(["hotspot", "--scale", SCALE, "--inject", "stats-drift", *FAST])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_inapplicable_injection_exits_two(self, capsys):
+        rc = main(
+            ["hotspot", "--scale", SCALE, "--runtimes", "bam",
+             "--inject", "dup-resident", *FAST]
+        )
+        assert rc == 2
+        assert "gmt-check:" in capsys.readouterr().err
+
+
+class TestFlags:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name, _ in CATALOG:
+            assert name in out
+
+    def test_workload_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_check_every_validated(self):
+        with pytest.raises(SystemExit):
+            main(["hotspot", "--check-every", "0"])
+
+    def test_check_every_runs(self):
+        assert main(["hotspot", "--scale", SCALE, "--check-every", "250", *FAST]) == 0
+
+    def test_prefetch_and_queueing_run(self):
+        assert main(
+            ["bfs", "--scale", SCALE, "--prefetch-degree", "2",
+             "--time-model", "queueing", *FAST]
+        ) == 0
+
+    def test_runtime_subset(self):
+        assert main(
+            ["hotspot", "--scale", SCALE, "--runtimes", "reuse", "bam", *FAST]
+        ) == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-workload"])

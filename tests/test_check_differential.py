@@ -1,0 +1,104 @@
+"""Tests for the differential/metamorphic harness (repro.check.differential)."""
+
+import pytest
+
+from repro.check.differential import (
+    DEFAULT_RUNTIMES,
+    INJECTIONS,
+    check_degenerate_bam,
+    check_determinism,
+    check_solo_serve,
+    run_conformance,
+)
+from repro.errors import ConfigError
+from repro.experiments.harness import default_config, get_workload
+
+SCALE = 8192
+
+
+class TestRunConformance:
+    def test_clean_run_is_ok(self):
+        report = run_conformance("hotspot", scale=SCALE)
+        assert report.ok
+        assert {run.kind for run in report.runs} == set(DEFAULT_RUNTIMES)
+        assert "cross-runtime-trace" in report.checks_run
+        assert "metamorphic-degenerate-bam" in report.checks_run
+        assert "metamorphic-determinism" in report.checks_run
+        assert "metamorphic-solo-serve" in report.checks_run
+
+    def test_prefetch_and_queueing_clean(self):
+        report = run_conformance(
+            "bfs",
+            scale=SCALE,
+            prefetch_degree=2,
+            time_model="queueing",
+            metamorphic=False,
+            serve=False,
+        )
+        assert report.ok
+
+    def test_periodic_checks_wired(self):
+        report = run_conformance(
+            "hotspot", scale=SCALE, check_every=200, metamorphic=False, serve=False
+        )
+        assert report.ok
+
+    def test_flags_prune_checks(self):
+        report = run_conformance(
+            "hotspot", scale=SCALE, metamorphic=False, serve=False
+        )
+        assert "metamorphic-determinism" not in report.checks_run
+        assert "metamorphic-solo-serve" not in report.checks_run
+
+    def test_summary_lines_render(self):
+        report = run_conformance(
+            "hotspot", scale=SCALE, metamorphic=False, serve=False
+        )
+        text = "\n".join(report.summary_lines())
+        assert "OK" in text or "ok" in text
+
+
+class TestInjections:
+    @pytest.mark.parametrize("fault", sorted(INJECTIONS))
+    def test_every_injection_detected(self, fault):
+        report = run_conformance(
+            "hotspot",
+            scale=SCALE,
+            inject=fault,
+            metamorphic=False,
+            serve=False,
+        )
+        assert not report.ok
+        assert report.injected
+        assert report.violations
+
+    def test_unknown_injection_rejected(self):
+        with pytest.raises(ConfigError):
+            run_conformance("hotspot", scale=SCALE, inject="not-a-fault")
+
+    def test_dup_resident_needs_tier2(self):
+        with pytest.raises(ConfigError):
+            run_conformance(
+                "hotspot",
+                scale=SCALE,
+                runtimes=("bam",),
+                inject="dup-resident",
+                metamorphic=False,
+                serve=False,
+            )
+
+
+class TestMetamorphicChecks:
+    def test_degenerate_bam_identity_holds(self):
+        config = default_config(SCALE)
+        workload = get_workload("hotspot", config, seed=0)
+        assert check_degenerate_bam(config, workload) == []
+
+    def test_determinism_holds(self):
+        config = default_config(SCALE)
+        workload = get_workload("hotspot", config, seed=0)
+        assert check_determinism("reuse", config, workload) == []
+
+    def test_solo_serve_holds(self):
+        config = default_config(SCALE)
+        assert check_solo_serve("bfs", config, 2.0, 0) == []

@@ -1,0 +1,161 @@
+"""Property-based tests backing the conformance harness's assumptions.
+
+The serving layer's quota enforcement relies on ``select_victim_where``
+leaving *non-matching* pages completely untouched: their queue positions
+(FIFO) and reference bits (clock) must survive any number of filtered
+sweeps, or one tenant's eviction pressure would erode another tenant's
+recency state.  The reuse predictor relies on ``IncrementalOLS.ready``
+and ``model()`` agreeing about degenerate fits near the variance
+threshold.  Both are exactly the kind of boundary hypothesis is good at
+probing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.clock_replacement import ClockReplacement
+from repro.mem.tier2_order import Tier2Fifo
+from repro.reuse.regression import IncrementalOLS
+
+# A small universe of page ids; predicate = membership in a random subset.
+pages_st = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=24, unique=True
+)
+refbits_st = st.lists(st.booleans(), min_size=24, max_size=24)
+subset_st = st.sets(st.integers(min_value=0, max_value=40))
+
+
+class TestClockFilteredSweep:
+    @given(pages=pages_st, refbits=refbits_st, matching=subset_st)
+    def test_non_matching_pages_keep_frames_and_refbits(
+        self, pages, refbits, matching
+    ):
+        clock = ClockReplacement(len(pages))
+        for page, ref in zip(pages, refbits):
+            clock.insert(page, referenced=ref)
+        before_frames = dict(clock._frame_of)
+        before_bits = {p: clock._refbits[f] for p, f in before_frames.items()}
+
+        victim = clock.select_victim_where(lambda p: p in matching)
+
+        for page in pages:
+            if page == victim or page in matching:
+                continue
+            # Untouched: same frame, same reference bit.
+            assert clock._frame_of[page] == before_frames[page]
+            assert clock._refbits[clock._frame_of[page]] == before_bits[page]
+
+    @given(pages=pages_st, refbits=refbits_st, matching=subset_st)
+    def test_victim_matches_predicate_and_is_removed(
+        self, pages, refbits, matching
+    ):
+        clock = ClockReplacement(len(pages))
+        for page, ref in zip(pages, refbits):
+            clock.insert(page, referenced=ref)
+
+        victim = clock.select_victim_where(lambda p: p in matching)
+
+        if not (set(pages) & matching):
+            assert victim is None
+            assert len(clock) == len(pages)
+        else:
+            assert victim in matching and victim in pages
+            assert victim not in clock
+            assert len(clock) == len(pages) - 1
+
+    @given(pages=pages_st, refbits=refbits_st, matching=subset_st)
+    @settings(max_examples=50)
+    def test_repeated_filtered_sweeps_drain_only_the_match_set(
+        self, pages, refbits, matching
+    ):
+        clock = ClockReplacement(len(pages))
+        for page, ref in zip(pages, refbits):
+            clock.insert(page, referenced=ref)
+        evicted = []
+        while (victim := clock.select_victim_where(lambda p: p in matching)) is not None:
+            evicted.append(victim)
+        assert sorted(evicted) == sorted(set(pages) & matching)
+        assert sorted(clock.pages()) == sorted(set(pages) - matching)
+
+
+class TestFifoFilteredSweep:
+    @given(pages=pages_st, matching=subset_st)
+    def test_non_matching_pages_keep_positions(self, pages, matching):
+        fifo = Tier2Fifo()
+        for page in pages:
+            fifo.insert(page)
+
+        victim = fifo.select_victim_where(lambda p: p in matching)
+
+        expected = [p for p in pages if p != victim]
+        assert fifo.pages() == expected
+
+    @given(pages=pages_st, matching=subset_st)
+    def test_victim_is_oldest_match(self, pages, matching):
+        fifo = Tier2Fifo()
+        for page in pages:
+            fifo.insert(page)
+
+        victim = fifo.select_victim_where(lambda p: p in matching)
+
+        matches = [p for p in pages if p in matching]
+        assert victim == (matches[0] if matches else None)
+
+
+# Sample coordinates resembling VTD/RD pairs: non-negative, modest range,
+# plus near-constant xs to sit right at the degenerate-fit threshold.
+coord_st = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples_st = st.lists(st.tuples(coord_st, coord_st), min_size=0, max_size=30)
+
+
+class TestIncrementalOLSDegeneracy:
+    @given(samples=samples_st)
+    def test_ready_iff_model_fits(self, samples):
+        ols = IncrementalOLS()
+        for x, y in samples:
+            ols.add(x, y)
+        if ols.ready:
+            model = ols.model()
+            assert model.m == model.m and model.b == model.b  # not NaN
+        else:
+            try:
+                ols.model()
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("model() fitted while ready is False")
+
+    @given(
+        x=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        jitter=st.floats(min_value=0.0, max_value=1e-12, allow_nan=False),
+        n=st.integers(min_value=2, max_value=20),
+    )
+    def test_near_constant_xs_never_disagree(self, x, jitter, n):
+        # xs constant up to ~1e-12 jitter: squarely inside the degenerate
+        # threshold's grey zone.  ready and model() must still agree.
+        ols = IncrementalOLS()
+        for i in range(n):
+            ols.add(x + (jitter if i % 2 else 0.0), float(i))
+        if ols.ready:
+            ols.model()
+        else:
+            try:
+                ols.model()
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("model() fitted while ready is False")
+
+    def test_constant_zero_xs_not_ready(self):
+        ols = IncrementalOLS()
+        ols.update([0.0, 0.0, 0.0], [1.0, 2.0, 3.0])
+        assert not ols.ready
+
+    def test_constant_positive_xs_degenerate_ratio(self):
+        ols = IncrementalOLS()
+        ols.update([4.0, 4.0, 4.0], [8.0, 8.0, 8.0])
+        assert ols.ready
+        model = ols.model()
+        assert model.m == 2.0 and model.b == 0.0
