@@ -24,6 +24,11 @@ The names here are covered by the compatibility promise in
   :func:`audit_stats` (post-run stats-identity audits, return
   :class:`Violation` lists), :func:`assert_conformant`,
   :class:`CheckReport`, :exc:`ConformanceError`.
+- Observability: :func:`profile` / :class:`PhaseProfiler`
+  (phase-attributed wall-clock profiling, see ``gmt-prof``),
+  :class:`LatencyDigest` (streaming latency percentiles), and the run
+  ledger (:func:`record_run`, :func:`read_ledger`, :func:`scan_trend`,
+  see ``gmt-bench --trend``).
 """
 
 from __future__ import annotations
@@ -44,6 +49,9 @@ from repro.experiments.harness import ExperimentResult, default_config
 from repro.experiments.runner import EXPERIMENTS, get_spec, run_experiment
 from repro.experiments.spec import CellResults, ExperimentSpec, run_spec
 from repro.errors import ConformanceError
+from repro.obs.digest import LatencyDigest
+from repro.obs.ledger import read_ledger, record_run, scan_trend
+from repro.prof import PhaseProfiler, profile, profile_replay
 from repro.sim import PlatformModel
 
 #: The configuration type under its role name.  ``RuntimeConfig`` is the
@@ -98,6 +106,8 @@ __all__ = [
     "GMTConfig",
     "GMTRuntime",
     "HmmRuntime",
+    "LatencyDigest",
+    "PhaseProfiler",
     "PlatformModel",
     "ResultCache",
     "RunResult",
@@ -109,9 +119,14 @@ __all__ = [
     "audit_stats",
     "default_config",
     "get_spec",
+    "profile",
+    "profile_replay",
+    "read_ledger",
+    "record_run",
     "run_cells",
     "run_conformance",
     "run_experiment",
     "run_spec",
+    "scan_trend",
     "serve",
 ]

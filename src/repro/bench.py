@@ -77,6 +77,7 @@ def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
     result = runtime.run(workload)
     wall_s = _clock() - start
     assert_conformant(runtime)
+    accesses = result.stats.coalesced_accesses
     record = {
         "elapsed_ns": float(result.elapsed_ns),
         "ssd_io_bytes": float(result.ssd_io_bytes),
@@ -85,6 +86,9 @@ def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
         "ssd_page_reads": float(result.stats.ssd_page_reads),
         "ssd_page_writes": float(result.stats.ssd_page_writes),
         "wall_s": wall_s,
+        # Host-side replay throughput: noisy like wall_s, recorded for
+        # the run ledger's trend trajectory (never strictly gated).
+        "accesses_per_sec": accesses / wall_s if wall_s > 0 else 0.0,
     }
     return record
 
@@ -196,7 +200,58 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", type=int, default=4096, help="byte-scale divisor (default 4096)"
     )
     parser.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="analyse the run ledger instead of replaying: compare the "
+        "latest runs against the rolling median and exit 1 on "
+        "sustained drift",
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=8,
+        help="rolling-median baseline size for --trend (default 8)",
+    )
+    parser.add_argument(
+        "--trend-threshold",
+        type=float,
+        default=0.25,
+        help="relative deviation that counts as drift for --trend "
+        "(default 0.25)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the run ledger "
+        "(benchmarks/results/ledger.jsonl or $GMT_LEDGER_PATH)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trend:
+        from repro.obs.ledger import config_hash, format_trend, ledger_path, read_ledger
+
+        params = {
+            "cells": sorted(f"{app}/{kind}" for app, kind in DEFAULT_CELLS),
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+        entries = read_ledger(tool="gmt-bench", config=config_hash(params))
+        report, drifts = format_trend(
+            entries,
+            metrics=("wall_s", "accesses_per_sec", "elapsed_ns"),
+            window=args.trend_window,
+            threshold=args.trend_threshold,
+        )
+        print(report)
+        if not entries:
+            print(f"(ledger: {ledger_path()})")
+            return 2
+        if drifts:
+            print(f"FAIL: {len(drifts)} metric(s) drifting on the ledger")
+            return 1
+        print("PASS: no sustained drift on the ledger")
+        return 0
 
     doc = run_bench(scale=args.scale, seed=args.seed)
     for cell, record in doc["cells"].items():
@@ -235,6 +290,24 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote baseline to {args.out}")
+
+    if not args.no_ledger:
+        from repro.obs.ledger import record_run
+
+        cells = doc["cells"]
+        wall_s = sum(c["wall_s"] for c in cells.values())
+        accesses = sum(c["accesses_per_sec"] * c["wall_s"] for c in cells.values())
+        record_run(
+            "gmt-bench",
+            wall_s=wall_s,
+            params={"cells": sorted(cells), "scale": args.scale, "seed": args.seed},
+            accesses_per_sec=accesses / wall_s if wall_s > 0 else 0.0,
+            metrics={
+                "elapsed_ns": sum(c["elapsed_ns"] for c in cells.values()),
+                "ssd_io_bytes": sum(c["ssd_io_bytes"] for c in cells.values()),
+                "t1_misses": sum(c["t1_misses"] for c in cells.values()),
+            },
+        )
     return 0
 
 

@@ -76,6 +76,70 @@ def _add_check_every(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_anomaly_flags(parser: argparse.ArgumentParser) -> None:
+    """Anomaly-detector knobs shared by gmt-sim and gmt-serve."""
+    parser.add_argument(
+        "--anomaly-scan",
+        action="store_true",
+        help="scan windowed telemetry for thrash / bypass storms / "
+        "latency spikes after the run (attaches telemetry if no "
+        "other output asked for it)",
+    )
+    parser.add_argument(
+        "--anomaly-window",
+        type=int,
+        metavar="N",
+        default=2_000,
+        help="snapshot window (coalesced accesses) for the anomaly scan "
+        "(default 2000)",
+    )
+    parser.add_argument(
+        "--anomaly-thrash",
+        type=float,
+        metavar="X",
+        default=0.5,
+        help="flag a window when Tier-1 evictions per access reach X "
+        "(default 0.5)",
+    )
+    parser.add_argument(
+        "--anomaly-bypass",
+        type=float,
+        metavar="X",
+        default=0.75,
+        help="flag a window when the Tier-2 bypass fraction of evictions "
+        "reaches X (default 0.75)",
+    )
+    parser.add_argument(
+        "--anomaly-spike",
+        type=float,
+        metavar="X",
+        default=3.0,
+        help="flag a window whose mean fault latency exceeds X times the "
+        "trailing mean (default 3.0)",
+    )
+
+
+def _scan_anomalies(args, telemetry, label: str) -> list:
+    """Run the anomaly detector with the CLI's thresholds; print findings."""
+    from repro.obs import AnomalyDetector
+
+    detector = AnomalyDetector(
+        thrash_evictions_per_access=args.anomaly_thrash,
+        bypass_fraction=args.anomaly_bypass,
+        latency_spike_factor=args.anomaly_spike,
+    )
+    anomalies = detector.scan_and_annotate(telemetry)
+    windows = len(telemetry.windows())
+    if not anomalies:
+        print(f"{label}: no anomalies over {windows} windows of "
+              f"{args.anomaly_window} accesses")
+    else:
+        print(f"{label}: {len(anomalies)} anomalies over {windows} windows:")
+        for anomaly in anomalies:
+            print(f"  {anomaly}")
+    return anomalies
+
+
 def main_sim(argv: list[str] | None = None) -> int:
     """Entry point for ``gmt-sim``."""
     parser = _common_parser("gmt-sim", "Replay one workload through runtimes")
@@ -115,6 +179,7 @@ def main_sim(argv: list[str] | None = None) -> int:
         "apart; feed back via gmt-why --from)",
     )
     _add_check_every(parser)
+    _add_anomaly_flags(parser)
     args = parser.parse_args(argv)
 
     config = default_config(args.scale, platform=get_platform(args.platform))
@@ -125,6 +190,7 @@ def main_sim(argv: list[str] | None = None) -> int:
         args.trace_out is not None
         or args.metrics_out is not None
         or args.lifecycle_out is not None
+        or args.anomaly_scan
     )
     telemetries = []
     results = {}
@@ -137,10 +203,16 @@ def main_sim(argv: list[str] | None = None) -> int:
 
             telemetries.append(
                 runtime.attach_telemetry(
-                    Telemetry(lifecycle=args.lifecycle_out is not None)
+                    Telemetry(
+                        lifecycle=args.lifecycle_out is not None,
+                        window=args.anomaly_window if args.anomaly_scan else 10_000,
+                    )
                 )
             )
         results[RUNTIME_LABELS[kind]] = runtime.run(workload)
+    if args.anomaly_scan:
+        for kind, telemetry in zip(args.runtimes, telemetries):
+            _scan_anomalies(args, telemetry, RUNTIME_LABELS[kind])
     baseline = RUNTIME_LABELS["bam"] if "bam" in args.runtimes else None
     print(
         comparison_table(
@@ -157,7 +229,9 @@ def main_sim(argv: list[str] | None = None) -> int:
         from repro.obs.export import write_chrome_trace
 
         count = write_chrome_trace(
-            args.trace_out, [(t.name, t.tracer) for t in telemetries]
+            args.trace_out,
+            [(t.name, t.tracer) for t in telemetries],
+            windows={t.name: t.windows() for t in telemetries},
         )
         print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
     if args.metrics_out is not None:
@@ -331,14 +405,44 @@ def main_serve(argv: list[str] | None = None) -> int:
         default=None,
         help="write a Prometheus snapshot with tenant-labelled series to PATH",
     )
+    parser.add_argument(
+        "--slo-p50",
+        type=float,
+        metavar="NS",
+        default=None,
+        help="per-tenant p50 miss-latency SLO target in ns (applied to "
+        "every tenant; violations are marked '!' in the table)",
+    )
+    parser.add_argument(
+        "--slo-p99",
+        type=float,
+        metavar="NS",
+        default=None,
+        help="per-tenant p99 miss-latency SLO target in ns",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the run ledger "
+        "(benchmarks/results/ledger.jsonl or $GMT_LEDGER_PATH)",
+    )
     _add_check_every(parser)
+    _add_anomaly_flags(parser)
     args = parser.parse_args(argv)
 
     config = default_config(
         args.scale, platform=get_platform(args.platform), policy=args.policy
     )
+    specs = _parse_tenants(args.tenants)
+    if args.slo_p50 is not None or args.slo_p99 is not None:
+        from dataclasses import replace
+
+        specs = [
+            replace(spec, slo_p50_ns=args.slo_p50, slo_p99_ns=args.slo_p99)
+            for spec in specs
+        ]
     streams = build_tenants(
-        _parse_tenants(args.tenants),
+        specs,
         config,
         oversubscription=args.oversubscription,
         seed=args.seed,
@@ -352,9 +456,17 @@ def main_serve(argv: list[str] | None = None) -> int:
     if args.check_every is not None:
         server.runtime.enable_periodic_checks(args.check_every)
     telemetry = None
-    if args.trace_out is not None or args.metrics_out is not None:
-        telemetry = server.attach_telemetry()
+    if args.trace_out is not None or args.metrics_out is not None or args.anomaly_scan:
+        from repro.obs import Telemetry
+
+        telemetry = server.attach_telemetry(
+            Telemetry(window=args.anomaly_window if args.anomaly_scan else 10_000)
+        )
+    import time as _time
+
+    wall_start = _time.perf_counter()
     outcome = server.run(solo_baselines=not args.no_solo)
+    wall_s = _time.perf_counter() - wall_start
     if args.check_every is not None:
         # Post-run: the full audit plus tenant-slice conservation.
         from repro.check.identities import audit_split, ConformanceError
@@ -367,7 +479,11 @@ def main_serve(argv: list[str] | None = None) -> int:
     if args.trace_out is not None:
         from repro.obs.export import write_chrome_trace
 
-        count = write_chrome_trace(args.trace_out, {telemetry.name: telemetry.tracer})
+        count = write_chrome_trace(
+            args.trace_out,
+            {telemetry.name: telemetry.tracer},
+            windows={telemetry.name: telemetry.windows()},
+        )
         print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
     if args.metrics_out is not None:
         from repro.obs.export import write_prometheus
@@ -376,6 +492,39 @@ def main_serve(argv: list[str] | None = None) -> int:
             args.metrics_out, [telemetry.registry] + server.tenant_registries()
         )
         print(f"wrote Prometheus snapshot to {args.metrics_out}")
+    anomalies = []
+    if args.anomaly_scan:
+        anomalies = _scan_anomalies(args, telemetry, "serve")
+    if not args.no_ledger:
+        from repro.obs.ledger import record_run
+
+        stats = server.runtime.stats
+        slowdowns = outcome.slowdowns()
+        record_run(
+            "gmt-serve",
+            wall_s=wall_s,
+            params={
+                "tenants": sorted(s.workload for s in specs),
+                "discipline": args.discipline,
+                "quotas": args.quotas,
+                "policy": args.policy,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+            accesses_per_sec=(
+                stats.coalesced_accesses / wall_s if wall_s > 0 else 0.0
+            ),
+            metrics={
+                "makespan_ns": outcome.elapsed_ns,
+                "t1_hit_rate": stats.t1_hit_rate,
+                "tenants": len(outcome.tenants),
+                "slo_violations": sum(
+                    len(t.slo_violations) for t in outcome.tenants
+                ),
+                **({"max_slowdown": max(slowdowns)} if slowdowns else {}),
+            },
+            anomalies=len(anomalies),
+        )
     return 0
 
 

@@ -145,6 +145,11 @@ class GMTRuntime:
         #: :mod:`repro.obs.lifecycle`).  Same discipline: None is the
         #: default and each emission site costs one attribute check.
         self._flight = None
+        #: Optional phase profiler (see :mod:`repro.prof`).  None is the
+        #: default; when off the hot path is the *original unwrapped*
+        #: methods — attach instruments them, detach restores them, so
+        #: disabled profiling costs literally nothing.
+        self._prof = None
         #: Scratch: the cause/prediction behind the eviction currently in
         #: flight (set by ``_ensure_tier1_frame``, read by the placement
         #: leaves so DEMOTE/BYPASS events carry the policy's reasoning).
@@ -260,6 +265,25 @@ class GMTRuntime:
     def detach_flight_recorder(self) -> None:
         """Stop lifecycle recording (the recorder keeps its events)."""
         self._flight = None
+
+    # ------------------------------------------------------------------
+    # phase profiling (optional, see repro.prof)
+    # ------------------------------------------------------------------
+    def attach_profiler(self, profiler=None):
+        """Instrument the phase boundaries with a
+        :class:`~repro.prof.PhaseProfiler` (a fresh one if None); returns
+        the profiler.  Detach with :meth:`detach_profiler`."""
+        if profiler is None:
+            from repro.prof import PhaseProfiler
+
+            profiler = PhaseProfiler()
+        profiler.attach(self)
+        return profiler
+
+    def detach_profiler(self) -> None:
+        """Restore the unwrapped hot path (the profiler keeps its data)."""
+        if self._prof is not None:
+            self._prof.detach()
 
     # ------------------------------------------------------------------
     # periodic conformance checking (optional, see repro.check)

@@ -129,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
         "identities, see gmt-check) every N coalesced accesses on every "
         "uncached replay; a violation fails the experiment",
     )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append this run to the run ledger "
+        "(benchmarks/results/ledger.jsonl or $GMT_LEDGER_PATH)",
+    )
     args = parser.parse_args(argv)
 
     if args.telemetry_lifecycle and args.telemetry_dir is None:
@@ -160,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     failures: dict[str, Exception] = {}
+    run_start = time.time()
     for name in names:
         start = time.time()
         try:
@@ -181,6 +188,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
 
     print(f"[engine] {engine.stats.summary()}")
+    if not args.no_ledger:
+        from repro.obs.ledger import record_run
+
+        record_run(
+            "gmt-experiments",
+            wall_s=time.time() - run_start,
+            params={"experiments": sorted(names), "scale": args.scale},
+            metrics={
+                "experiments": len(names),
+                "failures": len(failures),
+                "cells_executed": engine.stats.executed,
+            },
+        )
     if failures:
         summary = ", ".join(
             f"{name} ({type(exc).__name__})" for name, exc in failures.items()

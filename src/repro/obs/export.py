@@ -30,14 +30,67 @@ from repro.obs.tracing import SpanTracer
 _NS_PER_US = 1000.0
 
 
+def counter_track_events(pid: int, windows: Iterable[Mapping]) -> list[dict]:
+    """Perfetto counter events (``ph: "C"``) from a window stream.
+
+    Each snapshot window becomes up to two counter samples on the
+    virtual-time axis: the Tier-1/Tier-2 occupancy gauges (one track,
+    two series — Perfetto stacks multi-key counter args), and the
+    window's Tier-2 bypass fraction of evictions.  Rendered above the
+    span lanes, they show *when* the hierarchy filled up or started
+    bypassing, in the same timeline as the misses that caused it.
+    """
+    events: list[dict] = []
+    for window in windows:
+        ts = float(window.get("gmt_virtual_time_ns", 0.0)) / _NS_PER_US
+        occupancy: dict[str, float] = {}
+        if "gmt_tier1_occupancy" in window:
+            occupancy["tier1"] = float(window["gmt_tier1_occupancy"])
+        if "gmt_tier2_occupancy" in window:
+            occupancy["tier2"] = float(window["gmt_tier2_occupancy"])
+        if occupancy:
+            events.append(
+                {
+                    "name": "tier occupancy (pages)",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": occupancy,
+                }
+            )
+        evictions = window.get("gmt_t1_evictions")
+        placements = window.get("gmt_t2_placements")
+        if evictions is not None and placements is not None:
+            bypassed = max(0.0, float(evictions) - float(placements))
+            events.append(
+                {
+                    "name": "tier2 bypass rate",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {
+                        "bypass": round(bypassed / evictions, 4) if evictions else 0.0
+                    },
+                }
+            )
+    return events
+
+
 def chrome_trace_events(
     tracers: Mapping[str, SpanTracer] | Iterable[tuple[str, SpanTracer]],
+    windows: Mapping[str, Iterable[Mapping]] | None = None,
 ) -> list[dict]:
     """Build Trace Event Format dicts from named tracers.
 
     Args:
         tracers: mapping (or pairs) of ``process name -> SpanTracer`` —
             one entry per runtime.
+        windows: optional ``process name -> window stream`` (see
+            :meth:`~repro.obs.telemetry.Telemetry.windows`); matching
+            processes gain occupancy/bypass counter tracks
+            (:func:`counter_track_events`).
     """
     items = tracers.items() if isinstance(tracers, Mapping) else list(tracers)
     # Metadata events (process/thread names) lead; timed events follow
@@ -92,6 +145,8 @@ def chrome_trace_events(
                 event["ph"] = "X"
                 event["dur"] = (span.dur_ns or 0.0) / _NS_PER_US
             events.append(event)
+        if windows is not None and process in windows:
+            events.extend(counter_track_events(pid, windows[process]))
     events.sort(key=lambda e: e["ts"])
     return metadata + events
 
@@ -99,9 +154,10 @@ def chrome_trace_events(
 def write_chrome_trace(
     path: str,
     tracers: Mapping[str, SpanTracer] | Iterable[tuple[str, SpanTracer]],
+    windows: Mapping[str, Iterable[Mapping]] | None = None,
 ) -> int:
     """Write a Perfetto-loadable trace JSON; returns the event count."""
-    events = chrome_trace_events(tracers)
+    events = chrome_trace_events(tracers, windows=windows)
     payload = {"traceEvents": events, "displayTimeUnit": "ns"}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh)

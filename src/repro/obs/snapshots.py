@@ -30,6 +30,9 @@ class WindowedSnapshotter:
             raise ConfigError(f"interval must be >= 1, got {interval}")
         self.registry = registry
         self.interval = interval
+        #: Optional live hook: called with each freshly cut window dict
+        #: (gmt-top's feed).  None costs one comparison per window.
+        self.on_window = None
         self._windows: list[dict] = []
         self._last_position = 0
         self._last = self._capture()
@@ -86,6 +89,8 @@ class WindowedSnapshotter:
         self._windows.append(window)
         self._last = now
         self._last_position = position
+        if self.on_window is not None:
+            self.on_window(window)
         return window
 
     def windows(self) -> list[dict]:

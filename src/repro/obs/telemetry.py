@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+from repro.obs.digest import LatencyDigest
 from repro.obs.metrics import Histogram, MetricsRegistry, linear_buckets, log_buckets
 from repro.obs.snapshots import WindowedSnapshotter
 from repro.obs.tracing import SpanTracer
@@ -110,6 +111,18 @@ class Telemetry:
             help="Winning-transition weight share behind each Markov prediction",
             buckets=linear_buckets(0.1, 0.1, 10),
         )
+        #: Streaming quantile digest over modelled miss latency — real
+        #: percentiles (0.5% relative error), unlike the factor-of-2
+        #: histogram buckets.  Exposed as callback gauges so snapshots,
+        #: windows, and the Prometheus/JSONL exporters all carry them.
+        self.latency_digest = LatencyDigest()
+        for q_name, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            reg.gauge(
+                f"gmt_fault_latency_{q_name}_ns",
+                help=f"Streaming-digest {q_name} of modelled miss latency",
+                unit="ns",
+                fn=lambda q=q: self.latency_digest.quantile(q),
+            )
         self.snapshotter = WindowedSnapshotter(reg, interval=window)
 
     # ------------------------------------------------------------------
@@ -249,8 +262,9 @@ class Telemetry:
         self.tracer.instant(name, cat, self.now_ns, **args)
 
     def on_miss(self, page: int, fault_ns: float, source: str) -> None:
-        """One serviced demand miss: span + latency histogram."""
+        """One serviced demand miss: span + latency histogram + digest."""
         self.fault_latency.observe(fault_ns)
+        self.latency_digest.observe(fault_ns)
         self.tracer.record("miss", "access", self.now_ns, fault_ns, page=page, src=source)
 
     def tick(self, position: int) -> None:

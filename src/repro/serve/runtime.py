@@ -31,6 +31,7 @@ from repro.core.runtime import GMTRuntime
 from repro.core.stats import RuntimeStats
 from repro.errors import ConfigError
 from repro.mem.page import PageState
+from repro.obs.digest import LatencyDigest
 from repro.serve.quota import OwnedTier, QuotaConfig, TierQuotas
 from repro.serve.stream import owner_of_page
 
@@ -104,6 +105,8 @@ class _TenantObsShim:
             self._obs.on_miss(page, fault_ns, source)
             return
         self._obs.fault_latency.observe(fault_ns)
+        self._obs.latency_digest.observe(fault_ns)
+        self._runtime.tenant_digests[self._runtime._current].observe(fault_ns)
         self._obs.tracer.record(
             "miss", "access", self._obs.now_ns, fault_ns,
             page=page, src=source, tenant=tenant,
@@ -157,6 +160,10 @@ class TenantAwareRuntime(GMTRuntime):
             weights=weights or [1.0] * len(tenant_names),
         )
         self.tenant_stats = [RuntimeStats() for _ in tenant_names]
+        #: Per-tenant streaming latency digests, fed by the telemetry
+        #: shim on every serviced miss (empty until telemetry attaches —
+        #: the unobserved hot path never touches them).
+        self.tenant_digests = [LatencyDigest() for _ in tenant_names]
         self._current: int | None = None
         self.obs_extra_labels = dict(self.obs_extra_labels)
         self.obs_extra_labels["tenants"] = str(len(tenant_names))

@@ -24,7 +24,7 @@ Quick start::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.metrics import jain_index
 from repro.analysis.report import render_table
@@ -58,6 +58,13 @@ class TenantResult:
     peak_tier2: int = 0
     tier1_budget: int | None = None
     tier2_budget: int | None = None
+    #: Streaming-digest percentiles of the tenant's modelled miss
+    #: latency (None = telemetry was not attached / tenant never missed).
+    latency_p50_ns: float | None = None
+    latency_p99_ns: float | None = None
+    #: SLO targets from the tenant's spec (None = no target set).
+    slo_p50_ns: float | None = None
+    slo_p99_ns: float | None = None
 
     @property
     def slowdown(self) -> float | None:
@@ -69,6 +76,19 @@ class TenantResult:
                 f"tenant {self.tenant!r}: solo baseline has zero elapsed time"
             )
         return self.finish_ns / self.solo_ns
+
+    @property
+    def slo_violations(self) -> list[str]:
+        """Which latency targets the tenant missed (empty = all met or
+        no targets/measurements)."""
+        violated = []
+        for label, measured, target in (
+            ("p50", self.latency_p50_ns, self.slo_p50_ns),
+            ("p99", self.latency_p99_ns, self.slo_p99_ns),
+        ):
+            if measured is not None and target is not None and measured > target:
+                violated.append(label)
+        return violated
 
 
 @dataclass
@@ -110,7 +130,7 @@ class ServeResult:
         """Human-readable per-tenant comparison (CLI/report rendering)."""
         headers = [
             "tenant", "workload", "warps", "T1 hit", "SSD I/O",
-            "finish", "slowdown", "peak T1 (budget)", "peak T2 (budget)",
+            "finish", "slowdown", "p50/p99", "peak T1 (budget)", "peak T2 (budget)",
         ]
         rows: list[list[object]] = []
         for t in self.tenants:
@@ -123,6 +143,7 @@ class ServeResult:
                     format_bytes(t.stats.io_bytes(self.result.page_size)),
                     format_time(t.finish_ns),
                     "-" if t.slowdown is None else f"{t.slowdown:.2f}x",
+                    _latency_cell(t),
                     _peak_cell(t.peak_tier1, t.tier1_budget),
                     _peak_cell(t.peak_tier2, t.tier2_budget),
                 ]
@@ -145,6 +166,20 @@ class ServeResult:
 
 def _peak_cell(peak: int, budget: int | None) -> str:
     return f"{peak}" if budget is None else f"{peak} ({budget})"
+
+
+def _latency_cell(t: TenantResult) -> str:
+    """``p50/p99`` miss-latency cell, flagging SLO violations with ``!``."""
+    if t.latency_p50_ns is None and t.latency_p99_ns is None:
+        return "-"
+    violated = t.slo_violations
+    parts = []
+    for label, value in (("p50", t.latency_p50_ns), ("p99", t.latency_p99_ns)):
+        text = "-" if value is None else format_time(value)
+        if label in violated:
+            text += "!"
+        parts.append(text)
+    return "/".join(parts)
 
 
 def build_tenants(
@@ -181,7 +216,7 @@ def build_tenants(
         ):  # disambiguate duplicates: bfs, bfs-2, bfs-3 ...
             seen[name] = seen.get(name, 1) + 1
             name = f"{name}-{seen[name]}"
-        entry = TenantSpec(name=name, workload=key, weight=entry.weight, arrival=entry.arrival)
+        entry = replace(entry, name=name, workload=key)
         resolved.append(entry)
 
     total_ws = config.working_set_frames(oversubscription)
@@ -270,10 +305,33 @@ class TenantServer:
 
         registries = []
         base_labels = self.runtime.obs_labels()
-        for stream, stats in zip(self.streams, self.runtime.tenant_stats):
+        for stream, stats, digest in zip(
+            self.streams, self.runtime.tenant_stats, self.runtime.tenant_digests
+        ):
             labels = dict(base_labels)
             labels["tenant"] = stream.name
-            registries.append(stats.bind_registry(MetricsRegistry(const_labels=labels), prefix))
+            reg = stats.bind_registry(MetricsRegistry(const_labels=labels), prefix)
+            for q_name, q in (("p50", 0.50), ("p99", 0.99)):
+                reg.gauge(
+                    f"{prefix}tenant_latency_{q_name}_ns",
+                    help=f"Streaming-digest {q_name} of this tenant's miss latency",
+                    unit="ns",
+                    fn=lambda d=digest, q=q: d.quantile(q),
+                )
+                target = getattr(stream.spec, f"slo_{q_name}_ns", None)
+                if target is not None:
+                    reg.gauge(
+                        f"{prefix}tenant_slo_{q_name}_target_ns",
+                        help=f"Configured {q_name} miss-latency SLO target",
+                        unit="ns",
+                        fn=lambda t=target: t,
+                    )
+                    reg.gauge(
+                        f"{prefix}tenant_slo_{q_name}_ratio",
+                        help=f"Measured {q_name} over its SLO target (>1 = violating)",
+                        fn=lambda d=digest, q=q, t=target: d.quantile(q) / t,
+                    )
+            registries.append(reg)
         return registries
 
     # -- the serving loop ------------------------------------------------
@@ -334,6 +392,7 @@ class TenantServer:
         for stream in self.streams:
             idx = stream.index
             quotas = runtime.quotas
+            digest = runtime.tenant_digests[idx]
             tenants.append(
                 TenantResult(
                     tenant=stream.name,
@@ -344,6 +403,10 @@ class TenantServer:
                     issued_bytes=issued_bytes[idx],
                     finish_ns=finish_ns[idx],
                     solo_ns=None if solo_ns is None else solo_ns.get(idx),
+                    latency_p50_ns=digest.p50 if digest.count else None,
+                    latency_p99_ns=digest.p99 if digest.count else None,
+                    slo_p50_ns=stream.spec.slo_p50_ns,
+                    slo_p99_ns=stream.spec.slo_p99_ns,
                     peak_tier1=runtime.tier1.peak_owner_count(idx),
                     peak_tier2=runtime.tier2.peak_owner_count(idx),
                     tier1_budget=(

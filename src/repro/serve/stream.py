@@ -53,18 +53,28 @@ class TenantSpec:
             quota share.
         arrival: number of scheduler-emitted warps before this stream
             joins (FIFO-arrival ordering; 0 = present from the start).
+        slo_p50_ns / slo_p99_ns: optional latency targets for the
+            tenant's modelled miss-latency percentiles; drives the
+            per-tenant SLO gauges and the served-table violation marks
+            (None = no target).
     """
 
     name: str
     workload: str
     weight: float = 1.0
     arrival: int = 0
+    slo_p50_ns: float | None = None
+    slo_p99_ns: float | None = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise ConfigError(f"tenant {self.name!r}: weight must be positive")
         if self.arrival < 0:
             raise ConfigError(f"tenant {self.name!r}: arrival must be >= 0")
+        for attr in ("slo_p50_ns", "slo_p99_ns"):
+            target = getattr(self, attr)
+            if target is not None and target <= 0:
+                raise ConfigError(f"tenant {self.name!r}: {attr} must be positive")
 
 
 class TenantStream:

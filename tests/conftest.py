@@ -19,6 +19,15 @@ def _clear_harness_caches():
     harness.clear_caches()
 
 
+@pytest.fixture(autouse=True)
+def _isolate_run_ledger(tmp_path, monkeypatch):
+    """CLI mains append to the run ledger; never let tests touch the
+    committed benchmarks/results/ledger.jsonl."""
+    from repro.obs.ledger import LEDGER_ENV_VAR
+
+    monkeypatch.setenv(LEDGER_ENV_VAR, str(tmp_path / "ledger.jsonl"))
+
+
 @pytest.fixture
 def small_config() -> GMTConfig:
     """A tiny 3-tier geometry (Tier-2 = 4 x Tier-1, as in the paper)."""

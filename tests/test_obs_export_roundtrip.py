@@ -220,3 +220,105 @@ class TestChromeTraceInvariants:
         assert math.isclose(
             admits[0]["ts"] * 1000.0, 1500.0
         )
+
+
+class TestCounterTracks:
+    def make_windows(self):
+        return [
+            {
+                "window": 0,
+                "position": 1000,
+                "span": 1000,
+                "gmt_virtual_time_ns": 2_000_000.0,
+                "gmt_tier1_occupancy": 12.0,
+                "gmt_tier2_occupancy": 40.0,
+                "gmt_t1_evictions": 100.0,
+                "gmt_t2_placements": 25.0,
+            },
+            {
+                "window": 1,
+                "position": 2000,
+                "span": 1000,
+                "gmt_virtual_time_ns": 5_000_000.0,
+                "gmt_tier1_occupancy": 16.0,
+                "gmt_tier2_occupancy": 64.0,
+                "gmt_t1_evictions": 0.0,
+                "gmt_t2_placements": 0.0,
+            },
+        ]
+
+    def tracer(self):
+        tracer = SpanTracer()
+        tracer.record("miss", "access", 3_000_000.0, 500.0, page=1)
+        return tracer
+
+    def test_counter_events_emitted(self):
+        events = chrome_trace_events(
+            {"run": self.tracer()}, windows={"run": self.make_windows()}
+        )
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 4  # occupancy + bypass per window
+        occupancy = [e for e in counters if e["name"] == "tier occupancy (pages)"]
+        assert occupancy[0]["args"] == {"tier1": 12.0, "tier2": 40.0}
+        assert occupancy[1]["args"] == {"tier1": 16.0, "tier2": 64.0}
+        bypass = [e for e in counters if e["name"] == "tier2 bypass rate"]
+        assert bypass[0]["args"]["bypass"] == 0.75
+        assert bypass[1]["args"]["bypass"] == 0.0  # no evictions: rate 0
+
+    def test_counters_interleave_sorted_by_ts(self):
+        # Spans at 3 ms, counters at 2 ms and 5 ms: the merged stream
+        # must still be globally ts-sorted (Perfetto never re-sorts).
+        events = chrome_trace_events(
+            {"run": self.tracer()}, windows={"run": self.make_windows()}
+        )
+        timed = [e for e in events if e["ph"] != "M"]
+        assert [e["ts"] for e in timed] == sorted(e["ts"] for e in timed)
+        assert {e["ph"] for e in timed} == {"X", "C"}
+
+    def test_counters_json_safe_and_no_nulls(self):
+        events = chrome_trace_events(
+            {"run": self.tracer()}, windows={"run": self.make_windows()}
+        )
+        payload = json.loads(json.dumps(events))
+        for event in payload:
+            assert None not in event.values()
+            if event["ph"] == "C":
+                assert event["args"]  # counter events always carry args
+                assert None not in event["args"].values()
+
+    def test_unmatched_process_names_ignored(self):
+        events = chrome_trace_events(
+            {"run": self.tracer()}, windows={"other": self.make_windows()}
+        )
+        assert [e for e in events if e["ph"] == "C"] == []
+
+    def test_windows_without_gauges_emit_nothing(self):
+        events = chrome_trace_events(
+            {"run": self.tracer()},
+            windows={"run": [{"window": 0, "position": 10, "span": 10}]},
+        )
+        assert [e for e in events if e["ph"] == "C"] == []
+
+    def test_live_run_exports_counter_tracks(self, tmp_path):
+        from repro.experiments.harness import build_runtime, default_config, get_workload
+        from repro.obs import Telemetry
+        from repro.obs.export import write_chrome_trace
+
+        config = default_config(16384)
+        runtime = build_runtime("reuse", config)
+        telemetry = runtime.attach_telemetry(Telemetry(window=500))
+        runtime.run(get_workload("hotspot", config, seed=0))
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(
+            path,
+            {telemetry.name: telemetry.tracer},
+            windows={telemetry.name: telemetry.windows()},
+        )
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert {e["name"] for e in counters} == {
+            "tier occupancy (pages)",
+            "tier2 bypass rate",
+        }

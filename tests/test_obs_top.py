@@ -1,0 +1,178 @@
+"""gmt-top dashboard: rendering, window feed, anomaly surfacing, CLI."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshots import WindowedSnapshotter
+from repro.obs.top import Dashboard, _bar, main
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert _bar(0.0, 10) == "[..........]"
+        assert _bar(1.0, 10) == "[##########]"
+
+    def test_clamped(self):
+        assert _bar(-0.5, 10) == "[..........]"
+        assert _bar(2.0, 10) == "[##########]"
+
+    def test_half(self):
+        assert _bar(0.5, 10) == "[#####.....]"
+
+
+class TestOnWindowHook:
+    def test_callback_fires_per_window(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", help="")
+        snap = WindowedSnapshotter(registry, interval=10)
+        seen = []
+        snap.on_window = seen.append
+        counter.inc(3)
+        snap.maybe_snapshot(5)  # below interval: no window, no callback
+        assert seen == []
+        snap.maybe_snapshot(10)
+        assert len(seen) == 1
+        assert seen[0]["hits"] == 3
+        assert seen[0] is snap.windows()[0]
+
+    def test_flush_also_fires(self):
+        registry = MetricsRegistry()
+        snap = WindowedSnapshotter(registry, interval=10)
+        seen = []
+        snap.on_window = seen.append
+        snap.flush(4)
+        assert len(seen) == 1
+
+
+def run_dashboard(plain, window=500, scale=16384):
+    from repro.experiments.harness import build_runtime, default_config, get_workload
+
+    config = default_config(scale)
+    workload = get_workload("hotspot", config, oversubscription=2.0, seed=0)
+    runtime = build_runtime("reuse", config)
+    telemetry = runtime.attach_telemetry(Telemetry(window=window))
+    stream = io.StringIO()
+    dash = Dashboard(
+        telemetry,
+        title="GMT-Reuse replaying hotspot",
+        tier1_capacity=config.tier1_frames,
+        tier2_capacity=config.tier2_frames,
+        stream=stream,
+        plain=plain,
+    ).attach()
+    runtime.run(workload)
+    return dash, stream.getvalue(), telemetry
+
+
+class TestDashboard:
+    def test_plain_mode_line_per_window(self):
+        dash, out, telemetry = run_dashboard(plain=True)
+        lines = [l for l in out.splitlines() if l]
+        assert len(lines) == len(telemetry.windows())
+        assert dash.frames == len(lines)
+        assert lines[0].startswith("w0000 @")
+        assert "t1 " in lines[0] and "hit " in lines[0] and "p99 " in lines[0]
+        assert "\x1b" not in out  # plain mode is ANSI-free
+
+    def test_ansi_mode_redraws_frames(self):
+        dash, out, telemetry = run_dashboard(plain=False)
+        assert out.count("\x1b[2J") == dash.frames
+        assert "gmt-top — GMT-Reuse replaying hotspot" in out
+        assert "Tier-1 [" in out and "Tier-2 [" in out
+        assert "cumulative:" in out
+
+    def test_anomalies_surface_in_output(self):
+        # A 2x-oversubscribed hotspot replay thrashes by construction.
+        dash, out, _ = run_dashboard(plain=True)
+        assert dash.anomalies
+        assert "anomalies+" in out
+        summary = dash.finish()
+        assert "anomalies" in summary
+        assert "thrash" in summary
+
+    def test_render_is_pure_text(self):
+        dash, _, telemetry = run_dashboard(plain=False)
+        frame = dash.render(telemetry.windows()[-1])
+        assert "\x1b" not in frame
+        assert frame.endswith("\n")
+
+    def test_throughput_tracked_between_frames(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        telemetry = Telemetry(window=10)
+        ticks = iter([0.0, 1.0, 2.0])
+        dash = Dashboard(
+            telemetry,
+            title="t",
+            tier1_capacity=16,
+            tier2_capacity=64,
+            stream=io.StringIO(),
+            plain=True,
+            clock=lambda: next(ticks),
+        )
+        dash.update({"window": 0, "position": 1000, "span": 1000})
+        dash.update({"window": 1, "position": 3000, "span": 2000})
+        assert dash._throughput == pytest.approx(2000.0)
+
+    def test_tenant_rows_flag_slo_violations(self):
+        from repro.obs.digest import LatencyDigest
+
+        fast, slow = LatencyDigest(), LatencyDigest()
+        for _ in range(100):
+            fast.observe(1_000.0)
+            slow.observe(9_000_000.0)
+        dash = Dashboard(
+            Telemetry(window=10),
+            title="t",
+            tier1_capacity=16,
+            tier2_capacity=64,
+            tenants=[
+                ("fast", fast, None, 5_000_000.0),
+                ("slow", slow, None, 5_000_000.0),
+                ("idle", LatencyDigest(), None, None),
+            ],
+            stream=io.StringIO(),
+            plain=False,
+        )
+        frame = dash.render({"window": 0, "position": 10, "span": 10})
+        lines = {l.strip().split()[0]: l for l in frame.splitlines() if l.strip()}
+        assert "p99!" in lines["slow"]
+        assert "p99!" not in lines["fast"]
+        assert "-" in lines["idle"]  # never missed: no percentiles yet
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Dashboard(Telemetry(), title="t", tier1_capacity=0, tier2_capacity=4)
+
+
+class TestCLI:
+    def test_single_workload_plain(self, capsys):
+        assert main(["hotspot", "--scale", "16384", "--plain", "--window", "500"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("w0000")
+        assert "windows rendered" in out
+
+    def test_tenant_mix_plain(self, capsys):
+        assert (
+            main(
+                [
+                    "--tenants", "bfs,hotspot:2",
+                    "--scale", "16384",
+                    "--slo-p99", "1",
+                    "--plain",
+                ]
+            )
+            == 0
+        )
+        assert "windows rendered" in capsys.readouterr().out
+
+    def test_requires_workload_xor_tenants(self):
+        with pytest.raises(SystemExit):
+            main(["--plain"])
+        with pytest.raises(SystemExit):
+            main(["hotspot", "--tenants", "bfs", "--plain"])
