@@ -29,6 +29,11 @@ The names here are covered by the compatibility promise in
   :class:`LatencyDigest` (streaming latency percentiles), and the run
   ledger (:func:`record_run`, :func:`read_ledger`, :func:`scan_trend`,
   see ``gmt-bench --trend``).
+- Policy zoo: :class:`EvictionPolicy` (the strategy interface),
+  :func:`make_eviction_policy` / :data:`EVICTION_POLICY_NAMES` (the
+  registry), :class:`PartitionedPolicy` (per-tenant routing), and
+  :class:`GovernorConfig` / :class:`MigrationGovernor` (migration
+  admission control) — see ``docs/policies.md``.
 """
 
 from __future__ import annotations
@@ -51,6 +56,14 @@ from repro.experiments.spec import CellResults, ExperimentSpec, run_spec
 from repro.errors import ConformanceError
 from repro.obs.digest import LatencyDigest
 from repro.obs.ledger import read_ledger, record_run, scan_trend
+from repro.policyzoo import (
+    EVICTION_POLICY_NAMES,
+    EvictionPolicy,
+    GovernorConfig,
+    MigrationGovernor,
+    PartitionedPolicy,
+    make_eviction_policy,
+)
 from repro.prof import PhaseProfiler, profile, profile_replay
 from repro.sim import PlatformModel
 
@@ -66,6 +79,9 @@ def serve(
     scale: int = DEFAULT_SCALE,
     discipline: str = "round-robin",
     quota=None,
+    tier1_policy: str | None = None,
+    tier2_policy: str | None = None,
+    governor: GovernorConfig | None = None,
     solo_baselines: bool = True,
 ):
     """Serve a tenant mix on one shared hierarchy; returns a ``ServeResult``.
@@ -78,6 +94,14 @@ def serve(
         scale: byte-scale divisor used when ``config`` is omitted.
         discipline: interleaving discipline (``SCHEDULER_NAMES``).
         quota: optional :class:`~repro.serve.quota.QuotaConfig`.
+        tier1_policy: default per-tenant Tier-1 eviction policy
+            (:data:`EVICTION_POLICY_NAMES`); a per-tenant
+            ``TenantSpec.tier1_policy`` overrides it.  Any non-``None``
+            assignment switches the tier to partitioned (per-tenant)
+            eviction structures.
+        tier2_policy: same, for Tier-2.
+        governor: optional :class:`GovernorConfig` enabling per-tenant
+            migration admission control.
         solo_baselines: also replay each stream solo so per-tenant
             slowdowns and fairness are populated.
     """
@@ -86,7 +110,15 @@ def serve(
     if config is None:
         config = default_config(scale)
     streams = build_tenants(list(tenants), config)
-    server = TenantServer(config, streams, discipline=discipline, quota=quota)
+    server = TenantServer(
+        config,
+        streams,
+        discipline=discipline,
+        quota=quota,
+        tier1_policy=tier1_policy,
+        tier2_policy=tier2_policy,
+        governor=governor,
+    )
     return server.run(solo_baselines=solo_baselines)
 
 
@@ -98,15 +130,20 @@ __all__ = [
     "ConformanceError",
     "DEFAULT_SCALE",
     "DragonRuntime",
+    "EVICTION_POLICY_NAMES",
     "EXPERIMENTS",
     "Engine",
     "EngineStats",
+    "EvictionPolicy",
     "ExperimentResult",
     "ExperimentSpec",
     "GMTConfig",
     "GMTRuntime",
+    "GovernorConfig",
     "HmmRuntime",
     "LatencyDigest",
+    "MigrationGovernor",
+    "PartitionedPolicy",
     "PhaseProfiler",
     "PlatformModel",
     "ResultCache",
@@ -119,6 +156,7 @@ __all__ = [
     "audit_stats",
     "default_config",
     "get_spec",
+    "make_eviction_policy",
     "profile",
     "profile_replay",
     "read_ledger",

@@ -45,6 +45,21 @@ DEFAULT_CELLS: tuple[tuple[str, str], ...] = (
     ("bfs", "reuse"),
 )
 
+
+def _zoo_cells() -> tuple[tuple[str, str, str], ...]:
+    from repro.policyzoo.registry import ZOO_POLICY_NAMES
+
+    return tuple(("hotspot", "reuse", pol) for pol in ZOO_POLICY_NAMES)
+
+
+#: Informational cells: the reuse pipeline with each policy-zoo eviction
+#: policy substituted at both tiers.  Recorded in the baseline (cell id
+#: ``hotspot/reuse+<policy>``) so the zoo's behaviour is visible in the
+#: bench table and its *presence* is gated, but the metric budgets are
+#: not: zoo cells carry ``informational: true`` and may drift as
+#: policies are tuned.
+ZOO_CELLS: tuple[tuple[str, str, str], ...] = _zoo_cells()
+
 #: Deterministic per-cell metrics captured from the replay.  Checked
 #: with the strict tolerance.
 SIM_METRICS = (
@@ -59,8 +74,18 @@ SIM_METRICS = (
 BASELINE_VERSION = 1
 
 
-def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
+def run_cell(
+    app: str,
+    kind: str,
+    scale: int,
+    seed: int,
+    tier1_policy: str | None = None,
+    tier2_policy: str | None = None,
+) -> dict:
     """Replay one cell and return its metric record (wall_s last).
+
+    ``tier1_policy`` / ``tier2_policy`` substitute a policy-zoo eviction
+    policy at the respective tier (see ``EVICTION_POLICY_NAMES``).
 
     Every replay ends with the full conformance audit
     (:func:`repro.check.identities.assert_conformant`): a baseline
@@ -71,6 +96,14 @@ def run_cell(app: str, kind: str, scale: int, seed: int) -> dict:
     from repro.experiments.harness import build_runtime, default_config, get_workload
 
     config = default_config(scale)
+    if tier1_policy is not None or tier2_policy is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            tier1_eviction=tier1_policy or config.tier1_eviction,
+            tier2_eviction=tier2_policy or config.tier2_eviction,
+        )
     workload = get_workload(app, config, seed=seed)
     runtime = build_runtime(kind, config)
     start = _clock()
@@ -97,8 +130,14 @@ def run_bench(
     cells: tuple[tuple[str, str], ...] = DEFAULT_CELLS,
     scale: int = 4096,
     seed: int = 0,
+    zoo: tuple[tuple[str, str, str], ...] = (),
 ) -> dict:
-    """Replay every cell; returns the baseline document (JSON-ready)."""
+    """Replay every cell; returns the baseline document (JSON-ready).
+
+    ``zoo`` entries are ``(app, kind, policy)`` triples replayed with the
+    policy substituted at both tiers and recorded as informational cells
+    (the CLI passes :data:`ZOO_CELLS`).
+    """
     doc = {
         "version": BASELINE_VERSION,
         "scale": scale,
@@ -107,6 +146,12 @@ def run_bench(
     }
     for app, kind in cells:
         doc["cells"][f"{app}/{kind}"] = run_cell(app, kind, scale, seed)
+    for app, kind, pol in zoo:
+        record = run_cell(
+            app, kind, scale, seed, tier1_policy=pol, tier2_policy=pol
+        )
+        record["informational"] = True
+        doc["cells"][f"{app}/{kind}+{pol}"] = record
     return doc
 
 
@@ -123,6 +168,10 @@ def compare(
     still an unexplained behaviour change).  ``wall_s`` may grow by at
     most a factor of ``1 + wall_tolerance`` and never fails on getting
     faster.
+
+    Cells whose baseline record carries ``informational: true`` (the
+    policy-zoo cells) are only checked for *presence*: they must still
+    run, but their metrics are not budgets.
     """
     problems: list[str] = []
     if baseline.get("scale") != current.get("scale") or baseline.get(
@@ -138,6 +187,8 @@ def compare(
         cur = current.get("cells", {}).get(cell)
         if cur is None:
             problems.append(f"{cell}: missing from current run")
+            continue
+        if base.get("informational"):
             continue
         for metric in SIM_METRICS:
             want, got = base.get(metric), cur.get(metric)
@@ -232,7 +283,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.ledger import config_hash, format_trend, ledger_path, read_ledger
 
         params = {
-            "cells": sorted(f"{app}/{kind}" for app, kind in DEFAULT_CELLS),
+            "cells": sorted(
+                [f"{app}/{kind}" for app, kind in DEFAULT_CELLS]
+                + [f"{app}/{kind}+{pol}" for app, kind, pol in ZOO_CELLS]
+            ),
             "scale": args.scale,
             "seed": args.seed,
         }
@@ -253,11 +307,13 @@ def main(argv: list[str] | None = None) -> int:
         print("PASS: no sustained drift on the ledger")
         return 0
 
-    doc = run_bench(scale=args.scale, seed=args.seed)
+    doc = run_bench(scale=args.scale, seed=args.seed, zoo=ZOO_CELLS)
+    width = max(len(cell) for cell in doc["cells"])
     for cell, record in doc["cells"].items():
+        tag = "  [informational]" if record.get("informational") else ""
         print(
-            f"{cell:>16}: elapsed {record['elapsed_ns'] / 1e6:10.2f} ms (simulated), "
-            f"wall {record['wall_s'] * 1e3:8.1f} ms"
+            f"{cell:>{width}}: elapsed {record['elapsed_ns'] / 1e6:10.2f} ms (simulated), "
+            f"wall {record['wall_s'] * 1e3:8.1f} ms{tag}"
         )
 
     if args.check:

@@ -26,6 +26,7 @@ from repro.errors import GMTError
 def _build_parser() -> argparse.ArgumentParser:
     from repro.check.differential import DEFAULT_RUNTIMES, INJECTIONS
     from repro.experiments.harness import RUNTIME_KINDS
+    from repro.policyzoo.registry import EVICTION_POLICY_NAMES
     from repro.workloads.registry import WORKLOAD_NAMES
 
     parser = argparse.ArgumentParser(
@@ -103,6 +104,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="corrupt the first 3-tier runtime after its replay — the "
         "audit must then FAIL (detection self-test)",
     )
+    parser.add_argument(
+        "--tier1-policy",
+        choices=list(EVICTION_POLICY_NAMES),
+        default=None,
+        help="substitute this eviction policy at Tier-1 for every "
+        "runtime in the matrix (default: clock)",
+    )
+    parser.add_argument(
+        "--tier2-policy",
+        choices=list(EVICTION_POLICY_NAMES),
+        default=None,
+        help="substitute this eviction policy at Tier-2 (default: the "
+        "placement policy's historical order — clock or fifo)",
+    )
     return parser
 
 
@@ -138,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
             metamorphic=not args.no_metamorphic,
             serve=not args.no_serve,
             inject=args.inject,
+            tier1_policy=args.tier1_policy,
+            tier2_policy=args.tier2_policy,
         )
     except GMTError as exc:
         print(f"gmt-check: {exc}", file=sys.stderr)

@@ -81,10 +81,44 @@ def _inject_lost_writeback(runtime: GMTRuntime) -> str:
     return "one ssd_page_write erased"
 
 
+def _inject_ghost_leak(runtime: GMTRuntime) -> str:
+    """Overflow an S3-FIFO ghost queue past its bound (history-structure
+    leak — the kind of bug an unbounded dict would hide forever)."""
+    from repro.policyzoo.partition import PartitionedPolicy
+    from repro.policyzoo.s3fifo import S3FifoReplacement
+
+    structures = []
+    for candidate in (runtime.t1_clock, runtime._t2_order):
+        if isinstance(candidate, S3FifoReplacement):
+            structures.append(candidate)
+        elif isinstance(candidate, PartitionedPolicy):
+            structures.extend(
+                p for p in candidate.policies
+                if isinstance(p, S3FifoReplacement)
+            )
+    if not structures:
+        raise ConfigError(
+            "ghost-leak needs an S3-FIFO eviction structure; run with "
+            "--tier1-policy s3fifo (or --tier2-policy s3fifo)"
+        )
+    target = structures[0]
+    # Stuff synthetic never-resident page ids straight into the ghost
+    # dict, bypassing the bounded _remember_ghost path.
+    base = 1 << 60
+    overflow = target.ghost_bound + 2 - len(target._ghost)
+    for i in range(max(overflow, 1)):
+        target._ghost[base + i] = None
+    return (
+        f"ghost queue stuffed to {len(target._ghost)} entries "
+        f"(bound {target.ghost_bound})"
+    )
+
+
 INJECTIONS = {
     "dup-resident": _inject_dup_resident,
     "stats-drift": _inject_stats_drift,
     "lost-writeback": _inject_lost_writeback,
+    "ghost-leak": _inject_ghost_leak,
 }
 
 
@@ -114,6 +148,9 @@ class CheckReport:
     violations: list[tuple[str, Violation]] = field(default_factory=list)
     checks_run: list[str] = field(default_factory=list)
     injected: str | None = None
+    #: Eviction-policy substitution under test (None = the defaults).
+    tier1_policy: str | None = None
+    tier2_policy: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -128,6 +165,12 @@ class CheckReport:
             f"gmt-check {self.app} (scale {self.scale}, seed {self.seed}): "
             f"{len(self.runs)} runtime(s), {len(self.checks_run)} check "
             f"group(s)"
+            + (
+                f", eviction: t1={self.tier1_policy or 'clock'}"
+                f"/t2={self.tier2_policy or 'default'}"
+                if (self.tier1_policy or self.tier2_policy)
+                else ""
+            )
             + (f", injected corruption: {self.injected}" if self.injected else "")
         ]
         for run in self.runs:
@@ -169,6 +212,8 @@ def run_conformance(
     metamorphic: bool = True,
     serve: bool = True,
     inject: str | None = None,
+    tier1_policy: str | None = None,
+    tier2_policy: str | None = None,
 ) -> CheckReport:
     """Replay ``app`` through ``runtimes`` and audit everything.
 
@@ -190,6 +235,11 @@ def run_conformance(
         inject: name from :data:`INJECTIONS` — corrupt the *first listed
             3-tier runtime* after its replay and before its audit, to
             prove detection end-to-end.
+        tier1_policy / tier2_policy: substitute a :mod:`repro.policyzoo`
+            eviction policy at the given tier for *every* runtime in the
+            matrix (None keeps the defaults).  All identities — and the
+            metamorphic checks, including degenerate-BaM — must hold for
+            every zoo member.
 
     Periodic checking is disabled for the metamorphic re-runs (the first
     pass already audited the trace; the re-runs only compare outcomes).
@@ -208,13 +258,20 @@ def run_conformance(
     config = default_config(
         scale, prefetch_degree=prefetch_degree, time_model=time_model
     )
+    if tier1_policy is not None:
+        config = replace(config, tier1_eviction=tier1_policy)
+    if tier2_policy is not None:
+        config = replace(config, tier2_eviction=tier2_policy)
     workload = get_workload(app, config, oversubscription, seed=seed)
     if prefetch_degree > 0:
         # The satellite fix under test: the prefetcher must know where
         # the workload's address space ends.
         config = replace(config, footprint_pages=workload.footprint_pages)
 
-    report = CheckReport(app=app, scale=scale, seed=seed)
+    report = CheckReport(
+        app=app, scale=scale, seed=seed,
+        tier1_policy=tier1_policy, tier2_policy=tier2_policy,
+    )
     inject_target = None
     if inject is not None:
         three_tier = [k for k in runtimes if k != "bam"]

@@ -67,6 +67,11 @@ CATALOG: tuple[tuple[str, str], ...] = (
     ("structural",
      "check_invariants(): tier capacities respected, no page resident "
      "in two tiers, page-table locations match tier membership"),
+    ("eviction-structural",
+     "each tier's eviction policy tracks exactly the tier's resident "
+     "pages, and the policy's own check_integrity() invariants hold "
+     "(S3-FIFO ghost bound / small-main disjointness, generation "
+     "consistency, ...)"),
     ("tier1-occupancy",
      "len(tier1) == t1_misses + prefetches_issued - t1_evictions"),
     ("tier2-occupancy",
@@ -288,6 +293,32 @@ def audit_runtime(runtime) -> list[Violation]:
         f"resident Tier-2 pages vs t2_placements({stats.t2_placements}) - "
         f"t2_fetches({stats.t2_fetches}) - t2_evictions({stats.t2_evictions})",
     )
+
+    # Eviction-policy bookkeeping must mirror tier membership exactly,
+    # and any zoo policy with self-checks (ghost bound, generation
+    # consistency, ...) gets them audited here.
+    for label, tier, structure in (
+        ("Tier-1", runtime.tier1, getattr(runtime, "t1_clock", None)),
+        ("Tier-2", runtime.tier2, getattr(runtime, "_t2_order", None)),
+    ):
+        if structure is None:
+            continue
+        tracked = set(structure.pages())
+        resident = set(tier)
+        a.require(
+            "eviction-structural",
+            tracked == resident,
+            f"{label} eviction policy tracks {len(tracked)} pages but the "
+            f"tier holds {len(resident)} "
+            f"(policy-only: {sorted(tracked - resident)[:3]}, "
+            f"tier-only: {sorted(resident - tracked)[:3]})",
+        )
+        check = getattr(structure, "check_integrity", None)
+        if check is not None:
+            try:
+                check()
+            except SimulationError as exc:
+                a.violations.append(Violation("eviction-structural", str(exc)))
 
     resident_prefetched = 0
     t1_pages = set(runtime.tier1)

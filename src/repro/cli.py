@@ -337,11 +337,23 @@ def _parse_tenants(spec: str) -> list:
 
 def main_serve(argv: list[str] | None = None) -> int:
     """Entry point for ``gmt-serve``."""
+    from repro.core.config import POLICY_NAMES
+    from repro.policyzoo import EVICTION_POLICY_NAMES, GovernorConfig, policy_summary
     from repro.serve import QUOTA_MODES, SCHEDULER_NAMES, QuotaConfig, TenantServer, build_tenants
 
+    zoo_lines = "\n".join(
+        f"  {name:<8} {summary}" for name, summary in policy_summary()
+    )
     parser = argparse.ArgumentParser(
         prog="gmt-serve",
         description="Serve a mix of tenant workloads over one shared GMT hierarchy",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            f"placement policies: {', '.join(POLICY_NAMES)}\n"
+            f"disciplines:        {', '.join(SCHEDULER_NAMES)}\n"
+            f"quota modes:        {', '.join(QUOTA_MODES)}\n"
+            f"eviction policies (--tier1-policy / --tier2-policy):\n{zoo_lines}"
+        ),
     )
     parser.add_argument(
         "--tenants",
@@ -353,8 +365,50 @@ def main_serve(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--policy",
         default="reuse",
-        choices=["tier-order", "random", "reuse", "dueling"],
+        choices=list(POLICY_NAMES),
         help="placement policy of the shared hierarchy (default: reuse)",
+    )
+    parser.add_argument(
+        "--tier1-policy",
+        default=None,
+        choices=list(EVICTION_POLICY_NAMES),
+        help="eviction policy for every tenant at Tier-1 (default: clock); "
+        "any non-default choice gives each tenant its own instance",
+    )
+    parser.add_argument(
+        "--tier2-policy",
+        default=None,
+        choices=list(EVICTION_POLICY_NAMES),
+        help="eviction policy for every tenant at Tier-2 (default: the "
+        "placement policy's historical order — clock or fifo)",
+    )
+    parser.add_argument(
+        "--governor",
+        action="store_true",
+        help="rate-limit per-tenant tier migrations with a token bucket "
+        "(TierBPF-style admission control)",
+    )
+    parser.add_argument(
+        "--governor-rate",
+        type=float,
+        metavar="TOKENS",
+        default=50.0,
+        help="governor tokens granted per 1000 coalesced accesses "
+        "(default 50)",
+    )
+    parser.add_argument(
+        "--governor-burst",
+        type=float,
+        metavar="TOKENS",
+        default=16.0,
+        help="governor token-bucket burst capacity (default 16)",
+    )
+    parser.add_argument(
+        "--governor-stall-ns",
+        type=float,
+        metavar="NS",
+        default=25_000.0,
+        help="modelled stall added to a throttled promotion (default 25000)",
     )
     parser.add_argument(
         "--discipline",
@@ -447,11 +501,21 @@ def main_serve(argv: list[str] | None = None) -> int:
         oversubscription=args.oversubscription,
         seed=args.seed,
     )
+    governor = None
+    if args.governor:
+        governor = GovernorConfig(
+            tokens_per_1k_accesses=args.governor_rate,
+            burst=args.governor_burst,
+            promotion_stall_ns=args.governor_stall_ns,
+        )
     server = TenantServer(
         config,
         streams,
         discipline=args.discipline,
         quota=QuotaConfig(mode=args.quotas),
+        tier1_policy=args.tier1_policy,
+        tier2_policy=args.tier2_policy,
+        governor=governor,
     )
     if args.check_every is not None:
         server.runtime.enable_periodic_checks(args.check_every)
@@ -508,6 +572,9 @@ def main_serve(argv: list[str] | None = None) -> int:
                 "discipline": args.discipline,
                 "quotas": args.quotas,
                 "policy": args.policy,
+                "tier1_policy": args.tier1_policy or "clock",
+                "tier2_policy": args.tier2_policy or "default",
+                "governor": bool(args.governor),
                 "scale": args.scale,
                 "seed": args.seed,
             },
@@ -517,6 +584,7 @@ def main_serve(argv: list[str] | None = None) -> int:
             metrics={
                 "makespan_ns": outcome.elapsed_ns,
                 "t1_hit_rate": stats.t1_hit_rate,
+                "migration_throttled": stats.migration_throttled,
                 "tenants": len(outcome.tenants),
                 "slo_violations": sum(
                     len(t.slo_violations) for t in outcome.tenants
@@ -559,10 +627,15 @@ def main_why(argv: list[str] | None = None) -> int:
         default=None,
         help="page id (for 'page') or access index (for 'miss')",
     )
+    from repro.core.config import POLICY_NAMES
+
     parser.add_argument(
         "--runtime",
         default="reuse",
-        choices=["tier-order", "random", "reuse"],
+        # GMT policy variants only: the intersection of the runtime
+        # registry and the placement-policy registry (baselines such as
+        # bam/hmm/dragon do not drive the 3-tier lifecycle recorder).
+        choices=[k for k in RUNTIME_KINDS if k in POLICY_NAMES],
         help="GMT policy variant to replay (default: reuse)",
     )
     parser.add_argument(

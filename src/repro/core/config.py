@@ -26,6 +26,10 @@ PAPER_OVERSUBSCRIPTION = 2.0
 
 _POLICY_NAMES = ("tier-order", "random", "reuse", "dueling")
 
+#: Public alias — the registry of Tier-2-placement policy names
+#: (``GMTConfig.policy``).  CLIs derive their choices from this.
+POLICY_NAMES = _POLICY_NAMES
+
 
 @dataclass(frozen=True)
 class GMTConfig:
@@ -93,6 +97,14 @@ class GMTConfig:
     #: matching runs whose page-id space is open-ended (e.g. the
     #: namespaced multi-tenant serving layer).
     footprint_pages: int | None = None
+    #: Tier-1 eviction policy from the :mod:`repro.policyzoo` registry
+    #: ("clock", "s3fifo", "mglru", "lfu", "mru", "lhd").  "clock" is
+    #: the paper's GPU-tier replacement and the default.
+    tier1_eviction: str = "clock"
+    #: Tier-2 eviction policy.  None (the default) preserves the
+    #: historical derivation: "clock" when the placement policy is
+    #: GMT-TierOrder, plain "fifo" otherwise (paper section 2.2).
+    tier2_eviction: str | None = None
 
     def __post_init__(self) -> None:
         if self.tier1_frames <= 0:
@@ -132,6 +144,13 @@ class GMTConfig:
                 f"reuse_predictor must be 'markov' or 'last', got "
                 f"{self.reuse_predictor!r}"
             )
+        # Imported lazily: policyzoo depends on repro.mem, not on this
+        # module, so the late import avoids any cycle at import time.
+        from repro.policyzoo.registry import validate_policy_name
+
+        validate_policy_name(self.tier1_eviction)
+        if self.tier2_eviction is not None:
+            validate_policy_name(self.tier2_eviction)
 
     # ------------------------------------------------------------------
     @property

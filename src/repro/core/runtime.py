@@ -31,12 +31,12 @@ from repro.core.placement import PlacementDecision
 from repro.core.policies import PlacementPolicy, make_policy
 from repro.core.stats import RuntimeStats
 from repro.errors import SimulationError
-from repro.mem.clock_replacement import ClockReplacement
 from repro.mem.page import PageLocation, PageState
 from repro.mem.page_table import PageTable
 from repro.mem.tier import Tier
-from repro.mem.tier2_order import Tier2Clock, Tier2Fifo
+from repro.mem.tier2_order import Tier2Clock, Tier2Fifo  # noqa: F401 (re-export)
 from repro.obs.lifecycle import LifecycleKind
+from repro.policyzoo.registry import make_eviction_policy
 from repro.reuse.vtd import VirtualTimestampClock
 from repro.sim.cost import CostBreakdown, CostModel
 from repro.sim.gpu import WarpAccess, coalesce
@@ -101,15 +101,24 @@ class GMTRuntime:
 
         self.tier1 = Tier("Tier-1", config.tier1_frames)
         self.tier2 = Tier("Tier-2", config.tier2_frames)
-        self.t1_clock = ClockReplacement(config.tier1_frames)
+        self.t1_clock = make_eviction_policy(
+            config.tier1_eviction, config.tier1_frames, tier=1
+        )
 
         if policy_factory is None:
             policy_factory = make_policy
         self.policy: PlacementPolicy = policy_factory(
             config, self.stats, self.vts, self.rng
         )
-        if self.policy.tier2_uses_clock and config.tier2_frames > 0:
-            self._t2_order = Tier2Clock(config.tier2_frames)
+        if config.tier2_frames > 0:
+            t2_eviction = config.tier2_eviction
+            if t2_eviction is None:
+                # Historical derivation: GMT-TierOrder runs a clock over
+                # Tier-2, every other placement policy a plain FIFO.
+                t2_eviction = "clock" if self.policy.tier2_uses_clock else "fifo"
+            self._t2_order = make_eviction_policy(
+                t2_eviction, config.tier2_frames, tier=2
+            )
         else:
             self._t2_order = Tier2Fifo()
 
@@ -388,10 +397,18 @@ class GMTRuntime:
             self.tier2.remove(page)
             self._t2_order.remove(page)
             self.pcie.record_h2d(self.config.page_size)
-            fault_ns += platform.host_fetch_latency_ns + self._t2_move_ns
+            stall_ns = self._promotion_stall_ns(page)
+            if stall_ns > 0.0:
+                # Migration governor: the promotion itself cannot be
+                # refused (the faulting warp needs the page, and exclusive
+                # tiering forbids a host copy), so it queues behind the
+                # throttle instead.
+                self.stats.promotions_throttled += 1
+            fault_ns += platform.host_fetch_latency_ns + self._t2_move_ns + stall_ns
             if obs is not None:
                 obs.span("t2-fetch", "tier2",
-                         platform.host_fetch_latency_ns + self._t2_move_ns, page=page)
+                         platform.host_fetch_latency_ns + self._t2_move_ns + stall_ns,
+                         page=page)
             if self._flight is not None:
                 self._flight.emit(
                     LifecycleKind.PROMOTE, page, self.stats.coalesced_accesses,
@@ -622,6 +639,13 @@ class GMTRuntime:
             self.stats.t2_quota_denials += 1
             self._fx_cause = "t2-quota-denied"
             return self._bypass_to_tier3(state)
+        if not self._admit_demotion(state):
+            # Migration governor: the tenant is out of migration tokens,
+            # so the demotion skips the host tier (no Tier-2 frame, no
+            # PCIe writeback pressure) and bypasses straight to Tier-3.
+            self.stats.demotions_throttled += 1
+            self._fx_cause = "migration-throttled"
+            return self._bypass_to_tier3(state)
         ns = 0.0
         if self.tier2.full:
             if not allow_eviction:
@@ -633,7 +657,8 @@ class GMTRuntime:
         self._emit(EventKind.PLACE_T2, state.page)
         self._fx_t2_place = True
         self.tier2.insert(state.page)
-        self._t2_order.insert(state.page)
+        # Demoted pages arrive cold regardless of the policy's default.
+        self._t2_order.insert(state.page, referenced=False)
         state.location = PageLocation.TIER2
         self.stats.t2_placements += 1
         self.pcie.record_d2h(self.config.page_size)
@@ -656,6 +681,21 @@ class GMTRuntime:
         placement when the page's tenant is over its Tier-2 quota.
         """
         return True
+
+    def _admit_demotion(self, state: PageState) -> bool:
+        """Whether the migration governor admits this Tier-1->Tier-2
+        demotion (rate-limit hook).
+
+        Always true for the base runtime; the serving layer spends a
+        token from the owning tenant's bucket when a
+        :class:`~repro.policyzoo.governor.MigrationGovernor` is active.
+        """
+        return True
+
+    def _promotion_stall_ns(self, page: int) -> float:
+        """Extra fault latency the migration governor charges a
+        Tier-2->Tier-1 promotion (0.0 = unthrottled, the base default)."""
+        return 0.0
 
     def _select_tier2_victim(self) -> int:
         """Nominate the Tier-2 eviction victim (FIFO/clock order hook)."""

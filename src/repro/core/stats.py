@@ -36,6 +36,7 @@ class RuntimeStats:
         "prediction_accuracy",
         "ssd_page_ios",
         "prefetch_accuracy",
+        "migration_throttled",
     )
     #: Help strings for the figure-critical metrics (others export bare).
     METRIC_HELP = {
@@ -53,6 +54,9 @@ class RuntimeStats:
         "quota_evictions": "Tier-1 evictions forced by a tenant frame quota (repro.serve)",
         "t2_quota_denials": "Tier-2 placements denied by per-tenant admission control",
         "t2_clean_evictions": "Tier-2 evictions of clean pages (no writeback issued)",
+        "promotions_throttled": "Tier-2 promotions stalled by the migration governor",
+        "demotions_throttled": "Tier-1 demotions denied a Tier-2 frame by the migration governor",
+        "migration_throttled": "Tier migrations throttled by the governor (promotions + demotions)",
     }
 
     # --- access stream ----------------------------------------------------
@@ -80,6 +84,8 @@ class RuntimeStats:
     # --- multi-tenant serving (repro.serve; zero outside a served run) -------
     quota_evictions: int = 0           # Tier-1 evictions forced by a tenant quota
     t2_quota_denials: int = 0          # Tier-2 placements denied by admission
+    promotions_throttled: int = 0      # governor-stalled Tier-2 -> Tier-1 fetches
+    demotions_throttled: int = 0       # governor-denied Tier-1 -> Tier-2 placements
 
     # --- Tier-3 / SSD ---------------------------------------------------------
     ssd_page_reads: int = 0
@@ -134,6 +140,12 @@ class RuntimeStats:
         if not self.prefetches_issued:
             return 0.0
         return self.prefetch_hits / self.prefetches_issued
+
+    @property
+    def migration_throttled(self) -> int:
+        """Tier migrations the governor throttled, in either direction
+        (exported as ``gmt_migration_throttled``)."""
+        return self.promotions_throttled + self.demotions_throttled
 
     def record_prediction_outcome(self, predicted: str, actual: str) -> None:
         """Account one resolved prediction (called when a page returns to

@@ -1,0 +1,213 @@
+"""Isolation experiment: adversarial tenant pairs, shared vs per-tenant
+eviction policies, migration governor on/off.
+
+cache_ext's motivating result is that one replacement policy cannot fit
+every tenant — a policy that is right for a zipf-skewed key-value tenant
+is wrong for a cyclic scan, and in a *shared* structure the scan's pages
+evict the zipf tenant's hot set.  TierBPF's is that policy alone is not
+enough: a thrashing tenant also monopolises the migration links.  This
+experiment reproduces both effects on the serving layer:
+
+- **pairs** — two adversarial mixes: a cyclic scan (MRU-friendly,
+  clock-hostile) against a zipf key-value tenant (LFU-friendly), and a
+  low-reuse BFS thrasher against a steady high-reuse hotspot kernel;
+- **modes** — the same pair served four ways: one shared clock
+  (baseline), shared clock + static quotas, per-tenant policies +
+  quotas, and per-tenant policies + quotas + the migration governor;
+- **reduction** — per-tenant slowdown vs solo and Jain's fairness index,
+  one table per pair.
+
+Solo baselines are shared cells (they depend only on the config).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.engine import Cell
+from repro.experiments.harness import ExperimentResult, default_config
+from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.units import format_time
+
+#: pair name -> ((tenant, workload, tier1_policy, tier2_policy), ...).
+#: The per-tenant policies are what the "split" modes assign; shared
+#: modes ignore them and run everything on one clock.
+PAIRS: dict[str, tuple[tuple[str, str, str, str], ...]] = {
+    "scan-vs-zipf": (
+        ("scan", "streaming", "mru", "mru"),
+        ("zipf", "keyvalue", "lfu", "lfu"),
+    ),
+    "thrash-vs-steady": (
+        ("thrash", "bfs", "s3fifo", "s3fifo"),
+        ("steady", "hotspot", "mglru", "mglru"),
+    ),
+}
+
+#: Serving modes, in presentation order.
+MODES = ("shared", "shared+quota", "split+quota", "split+quota+governor")
+
+#: pair name -> (tokens_per_1k_accesses, burst, promotion_stall_ns).
+#: The governor bucket is sized per pair, TierBPF-style: the thrash
+#: pair's migration monopoly wants a tight bucket, while the scan pair
+#: has no monopoly to police — a right-sized bucket there is loose
+#: enough to stay inert (zero throttles) rather than starve the very
+#: tenant it would be protecting.
+GOVERNORS: dict[str, tuple[float, float, float]] = {
+    "scan-vs-zipf": (800.0, 48.0, 8000.0),
+    "thrash-vs-steady": (50.0, 16.0, 25000.0),
+}
+
+
+def _specs(pair: str, split: bool):
+    from repro.serve import TenantSpec
+
+    return [
+        TenantSpec(
+            name=name,
+            workload=workload,
+            tier1_policy=t1 if split else None,
+            tier2_policy=t2 if split else None,
+        )
+        for name, workload, t1, t2 in PAIRS[pair]
+    ]
+
+
+@lru_cache(maxsize=32)
+def _streams(pair: str, split: bool, config):
+    """Per-process stream cache (workload generation dominates)."""
+    from repro.serve import build_tenants
+
+    return build_tenants(_specs(pair, split), config)
+
+
+def solo_cell(config, pair: str, index: int) -> float:
+    """Cell body: solo elapsed time (ns) of one tenant's stream."""
+    from repro.serve import TenantServer
+
+    streams = _streams(pair, False, config)
+    probe = TenantServer(config, streams)
+    return probe.solo_run(streams[index]).elapsed_ns
+
+
+def mode_cell(config, pair: str, mode: str):
+    """Cell body: one pair served under one isolation mode."""
+    from repro.serve import GovernorConfig, QuotaConfig, TenantServer
+
+    split = mode.startswith("split")
+    streams = _streams(pair, split, config)
+    governor = None
+    if "governor" in mode:
+        rate, burst, stall = GOVERNORS[pair]
+        governor = GovernorConfig(
+            tokens_per_1k_accesses=rate,
+            burst=burst,
+            promotion_stall_ns=stall,
+        )
+    server = TenantServer(
+        config,
+        streams,
+        quota=QuotaConfig(mode="static") if "quota" in mode else None,
+        governor=governor,
+    )
+    return server.run(solo_baselines=False)
+
+
+def _solo(config, pair: str, index: int) -> Cell:
+    tenant = PAIRS[pair][index][0]
+    return Cell.make(
+        "repro.experiments.isolation:solo_cell",
+        label=f"{pair}/{tenant}/solo",
+        config=config,
+        pair=pair,
+        index=index,
+    )
+
+
+def _mode(config, pair: str, mode: str) -> Cell:
+    return Cell.make(
+        "repro.experiments.isolation:mode_cell",
+        label=f"{pair}/{mode}",
+        config=config,
+        pair=pair,
+        mode=mode,
+    )
+
+
+def _cells(scale):
+    config = default_config(scale)
+    cells = []
+    for pair in PAIRS:
+        cells += [_solo(config, pair, i) for i in range(len(PAIRS[pair]))]
+        cells += [_mode(config, pair, mode) for mode in MODES]
+    return cells
+
+
+def _reduce(results, scale):
+    config = default_config(scale)
+    tables = []
+    fairness_by_key: dict[tuple[str, str], dict] = {}
+    outcomes: dict[tuple[str, str], object] = {}
+    for pair, members in PAIRS.items():
+        solo_ns = {
+            i: results[_solo(config, pair, i)] for i in range(len(members))
+        }
+        headers = ["mode", "makespan"]
+        headers += [f"{name} slowdown" for name, *_ in members]
+        headers += ["Jain", "throttled"]
+        rows: list[list[object]] = []
+        for mode in MODES:
+            outcome = results[_mode(config, pair, mode)]
+            for position, tenant in enumerate(outcome.tenants):
+                tenant.solo_ns = solo_ns[position]
+            outcomes[(pair, mode)] = outcome
+            fairness = outcome.fairness()
+            fairness_by_key[(pair, mode)] = fairness
+            throttled = sum(
+                t.stats.migration_throttled for t in outcome.tenants
+            )
+            row: list[object] = [mode, format_time(outcome.elapsed_ns)]
+            row += [f"{t.slowdown:.2f}x" for t in outcome.tenants]
+            row += [f"{fairness['jain_index']:.3f}", throttled]
+            rows.append(row)
+        policies = ", ".join(
+            f"{name}: {t1}/{t2}" for name, _, t1, t2 in members
+        )
+        tables.append(
+            ExperimentResult(
+                name=f"isolation/{pair}",
+                title=f"Isolation — {pair} (split policies: {policies})",
+                headers=headers,
+                rows=rows,
+                notes=[
+                    "slowdown = shared completion time / solo elapsed time",
+                    "Jain's index over normalised service (1/slowdown); "
+                    "1.0 = perfectly fair",
+                    "split modes give each tenant its own eviction policy "
+                    "instance; the governor rate-limits per-tenant tier "
+                    "migrations (token bucket, sized per pair: "
+                    f"{GOVERNORS[pair][0]:.0f} tokens/1k accesses, "
+                    f"burst {GOVERNORS[pair][1]:.0f})",
+                ],
+                extras={
+                    "pair": pair,
+                    "fairness": {
+                        mode: fairness_by_key[(pair, mode)] for mode in MODES
+                    },
+                    "outcomes": {
+                        mode: outcomes[(pair, mode)] for mode in MODES
+                    },
+                    "solo_ns": solo_ns,
+                },
+            )
+        )
+    return tables
+
+
+SPEC = ExperimentSpec(
+    name="isolation",
+    title="Per-tenant policy + governor isolation vs shared baseline",
+    cells=_cells,
+    reduce=_reduce,
+)
+
+run = compat_run(SPEC)

@@ -41,6 +41,7 @@ EXPERIMENTS = (
     "fig14",
     "extensions",
     "serve_mix",
+    "isolation",
 )
 
 

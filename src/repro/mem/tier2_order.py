@@ -31,7 +31,8 @@ class Tier2Fifo:
     def __contains__(self, page: int) -> bool:
         return page in self._queue
 
-    def insert(self, page: int) -> None:
+    def insert(self, page: int, referenced: bool = False) -> None:
+        """Queue a page; ``referenced`` is ignored (FIFO has no recency)."""
         self._queue.push(page)
 
     def remove(self, page: int) -> None:
@@ -71,8 +72,9 @@ class Tier2Clock:
     def __contains__(self, page: int) -> bool:
         return page in self._clock
 
-    def insert(self, page: int) -> None:
-        self._clock.insert(page, referenced=False)
+    def insert(self, page: int, referenced: bool = False) -> None:
+        """Track a page; demoted pages arrive cold (``referenced=False``)."""
+        self._clock.insert(page, referenced=referenced)
 
     def remove(self, page: int) -> None:
         self._clock.remove(page)

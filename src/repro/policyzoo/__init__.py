@@ -1,0 +1,63 @@
+"""Pluggable eviction policies, per-tenant partitioning, and migration
+admission control.
+
+The zoo generalises the hard-wired Tier-1 clock / Tier-2 FIFO into a
+strategy interface (:class:`~repro.policyzoo.base.EvictionPolicy`) with a
+registry of interchangeable implementations:
+
+========  ==========================================================
+name      structure
+========  ==========================================================
+clock     second-chance clock (the GMT default at both tiers)
+fifo      plain FIFO (the historical Tier-2 default)
+s3fifo    S3-FIFO: small/main queues + ghost history
+mglru     MGLRU-style generational clock (multi-gen aging)
+lfu       least-frequently-used (ties broken oldest-first)
+mru       most-recently-used (scan-resistant for cyclic sweeps)
+lhd       LHD-lite: sampled hit-density ranking
+========  ==========================================================
+
+Every member honours the filtered-sweep contract proven on
+``ClockReplacement``/``Tier2Fifo``: ``select_victim_where(pred)`` returns
+(and removes) a victim matching ``pred`` while leaving every
+non-matching page's bookkeeping untouched, or returns ``None`` when no
+resident page matches.
+
+:class:`~repro.policyzoo.partition.PartitionedPolicy` routes each page to
+its owning tenant's private policy instance (cache_ext-style per-tenant
+policies), and :class:`~repro.policyzoo.governor.MigrationGovernor`
+rate-limits tier migrations per tenant with token buckets
+(TierBPF-style admission control).  See ``docs/policies.md``.
+"""
+
+from __future__ import annotations
+
+from repro.policyzoo.base import EvictionPolicy
+from repro.policyzoo.freq import LfuReplacement, MruReplacement
+from repro.policyzoo.governor import GovernorConfig, MigrationGovernor
+from repro.policyzoo.lhd import LhdReplacement
+from repro.policyzoo.mglru import GenClockReplacement
+from repro.policyzoo.partition import PartitionedPolicy
+from repro.policyzoo.registry import (
+    EVICTION_POLICY_NAMES,
+    ZOO_POLICY_NAMES,
+    make_eviction_policy,
+    policy_summary,
+)
+from repro.policyzoo.s3fifo import S3FifoReplacement
+
+__all__ = [
+    "EVICTION_POLICY_NAMES",
+    "EvictionPolicy",
+    "GenClockReplacement",
+    "GovernorConfig",
+    "LfuReplacement",
+    "LhdReplacement",
+    "MigrationGovernor",
+    "MruReplacement",
+    "PartitionedPolicy",
+    "S3FifoReplacement",
+    "ZOO_POLICY_NAMES",
+    "make_eviction_policy",
+    "policy_summary",
+]

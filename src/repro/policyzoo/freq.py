@@ -1,0 +1,167 @@
+"""Frequency/recency extremes: LFU and MRU.
+
+Both keep exact per-page state and select victims by a full scan —
+O(n) per eviction is perfectly affordable at simulation scale and keeps
+the reference semantics unambiguous for the conformance audit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CapacityError, PageStateError, SimulationError
+from repro.policyzoo.base import EvictionPolicy
+
+
+class LfuReplacement(EvictionPolicy):
+    """Least-frequently-used; ties broken by insertion order (oldest
+    first), so the structure is fully deterministic."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CapacityError(f"LFU needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self._seq = 0
+        # page -> [frequency, insertion sequence]
+        self._state: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._state
+
+    @property
+    def full(self) -> bool:
+        return len(self._state) >= self.capacity
+
+    def pages(self) -> Iterable[int]:
+        return list(self._state)
+
+    def insert(self, page: int, referenced: bool = True) -> None:
+        if page in self._state:
+            raise PageStateError(f"page {page} already tracked by LFU")
+        if self.full:
+            raise CapacityError("LFU is full; evict before inserting")
+        self._seq += 1
+        self._state[page] = [1 if referenced else 0, self._seq]
+
+    def touch(self, page: int) -> None:
+        try:
+            self._state[page][0] += 1
+        except KeyError:
+            raise PageStateError(f"page {page} not tracked by LFU") from None
+
+    def remove(self, page: int) -> None:
+        if self._state.pop(page, None) is None:
+            raise PageStateError(f"page {page} not tracked by LFU")
+
+    def _best(self, predicate: Callable[[int], bool] | None) -> int | None:
+        best_key: tuple[int, int] | None = None
+        best_page: int | None = None
+        for page, (freq, seq) in self._state.items():
+            if predicate is not None and not predicate(page):
+                continue
+            key = (freq, seq)
+            if best_key is None or key < best_key:
+                best_key, best_page = key, page
+        return best_page
+
+    def select_victim(self) -> int:
+        if not self._state:
+            raise PageStateError("cannot select a victim: LFU is empty")
+        victim = self._best(None)
+        del self._state[victim]
+        return victim
+
+    def select_victim_where(
+        self, predicate: Callable[[int], bool]
+    ) -> int | None:
+        victim = self._best(predicate)
+        if victim is not None:
+            del self._state[victim]
+        return victim
+
+    def check_integrity(self) -> None:
+        if len(self._state) > self.capacity:
+            raise SimulationError(
+                f"LFU resident set {len(self._state)} exceeds capacity "
+                f"{self.capacity}"
+            )
+
+
+class MruReplacement(EvictionPolicy):
+    """Most-recently-used: evicts the page touched last.  Pathological
+    for temporal locality, near-optimal for cyclic scans larger than
+    the tier — the adversarial member of the zoo."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CapacityError(f"MRU needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self._seq = 0
+        # page -> last-reference sequence number
+        self._last: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._last)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._last
+
+    @property
+    def full(self) -> bool:
+        return len(self._last) >= self.capacity
+
+    def pages(self) -> Iterable[int]:
+        return list(self._last)
+
+    def insert(self, page: int, referenced: bool = True) -> None:
+        if page in self._last:
+            raise PageStateError(f"page {page} already tracked by MRU")
+        if self.full:
+            raise CapacityError("MRU is full; evict before inserting")
+        self._seq += 1
+        self._last[page] = self._seq
+
+    def touch(self, page: int) -> None:
+        if page not in self._last:
+            raise PageStateError(f"page {page} not tracked by MRU")
+        self._seq += 1
+        self._last[page] = self._seq
+
+    def remove(self, page: int) -> None:
+        if self._last.pop(page, None) is None:
+            raise PageStateError(f"page {page} not tracked by MRU")
+
+    def _best(self, predicate: Callable[[int], bool] | None) -> int | None:
+        best_seq = -1
+        best_page: int | None = None
+        for page, seq in self._last.items():
+            if predicate is not None and not predicate(page):
+                continue
+            if seq > best_seq:
+                best_seq, best_page = seq, page
+        return best_page
+
+    def select_victim(self) -> int:
+        if not self._last:
+            raise PageStateError("cannot select a victim: MRU is empty")
+        victim = self._best(None)
+        del self._last[victim]
+        return victim
+
+    def select_victim_where(
+        self, predicate: Callable[[int], bool]
+    ) -> int | None:
+        victim = self._best(predicate)
+        if victim is not None:
+            del self._last[victim]
+        return victim
+
+    def check_integrity(self) -> None:
+        if len(self._last) > self.capacity:
+            raise SimulationError(
+                f"MRU resident set {len(self._last)} exceeds capacity "
+                f"{self.capacity}"
+            )

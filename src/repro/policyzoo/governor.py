@@ -1,0 +1,92 @@
+"""TierBPF-style migration admission control.
+
+One token bucket per tenant meters tier *migrations* — Tier-1→Tier-2
+demotions and Tier-2→Tier-1 promotions — against the interconnect.
+Buckets refill on the runtime's logical clock (coalesced accesses), so
+admission decisions are exactly reproducible under the replay engine:
+
+- A **denied demotion** bypasses the host tier straight to Tier-3 (the
+  page still leaves Tier-1 — exclusive tiering must make the frame
+  available — but it stops consuming host cache and PCIe writeback
+  bandwidth).  Counted as ``demotions_throttled``.
+- A **denied promotion** cannot be refused outright (the faulting warp
+  needs the page), so it pays a stall penalty instead, modelling
+  queueing behind the throttle.  Counted as ``promotions_throttled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Token-bucket parameters, shared by every tenant's bucket.
+
+    Attributes:
+        tokens_per_1k_accesses: bucket refill rate — migration tokens
+            granted per 1000 coalesced accesses of runtime progress.
+        burst: bucket capacity; bounds how many migrations a tenant can
+            issue back-to-back after an idle stretch.
+        promotion_stall_ns: latency penalty charged to a fault whose
+            Tier-2 promotion found the bucket empty.
+    """
+
+    tokens_per_1k_accesses: float = 50.0
+    burst: float = 16.0
+    promotion_stall_ns: float = 25_000.0
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_1k_accesses <= 0:
+            raise ConfigError(
+                f"tokens_per_1k_accesses must be > 0, got "
+                f"{self.tokens_per_1k_accesses}"
+            )
+        if self.burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {self.burst}")
+        if self.promotion_stall_ns < 0:
+            raise ConfigError(
+                f"promotion_stall_ns must be >= 0, got "
+                f"{self.promotion_stall_ns}"
+            )
+
+
+class MigrationGovernor:
+    """Per-tenant token buckets on a shared logical clock."""
+
+    def __init__(self, config: GovernorConfig, tenants: int) -> None:
+        if tenants < 1:
+            raise ConfigError(f"governor needs >= 1 tenant, got {tenants}")
+        self.config = config
+        self._tokens = [config.burst] * tenants
+        self._last = [0] * tenants
+        #: Admissions granted / denied per tenant (introspection only;
+        #: the runtime's own stats carry the gated counters).
+        self.granted = [0] * tenants
+        self.denied = [0] * tenants
+
+    def _refill(self, tenant: int, now: int) -> None:
+        elapsed = now - self._last[tenant]
+        if elapsed > 0:
+            rate = self.config.tokens_per_1k_accesses / 1000.0
+            self._tokens[tenant] = min(
+                self.config.burst, self._tokens[tenant] + elapsed * rate
+            )
+        self._last[tenant] = now
+
+    def tokens(self, tenant: int, now: int) -> float:
+        """Current bucket level after refilling to ``now``."""
+        self._refill(tenant, now)
+        return self._tokens[tenant]
+
+    def try_take(self, tenant: int, now: int) -> bool:
+        """Spend one migration token; False when the bucket is empty."""
+        self._refill(tenant, now)
+        if self._tokens[tenant] >= 1.0:
+            self._tokens[tenant] -= 1.0
+            self.granted[tenant] += 1
+            return True
+        self.denied[tenant] += 1
+        return False

@@ -1,0 +1,115 @@
+"""LHD-lite: sampled hit-density ranking.
+
+Full LHD learns a hit-density distribution per page class; this lite
+variant keeps the core idea — evict the page with the lowest observed
+hits per unit of age — while staying exactly deterministic for the
+replay engine.  Age is measured on a logical clock that ticks on every
+insert and touch, and victim selection ranks a deterministic sample of
+candidates taken by a rotating cursor over insertion order (so repeated
+evictions sweep the whole resident set instead of re-examining one
+corner).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CapacityError, PageStateError, SimulationError
+from repro.policyzoo.base import EvictionPolicy
+
+#: Candidates examined per (unfiltered) victim selection.
+_SAMPLE = 8
+
+
+class LhdReplacement(EvictionPolicy):
+    """Lowest-hit-density eviction over ``capacity`` pages."""
+
+    def __init__(self, capacity: int, sample: int = _SAMPLE) -> None:
+        if capacity < 1:
+            raise CapacityError(f"LHD needs capacity >= 1, got {capacity}")
+        if sample < 1:
+            raise CapacityError(f"LHD sample must be >= 1, got {sample}")
+        self.capacity = capacity
+        self.sample = sample
+        self._now = 0
+        self._cursor = 0
+        # Insertion-ordered page -> [hits, birth tick]
+        self._state: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._state
+
+    @property
+    def full(self) -> bool:
+        return len(self._state) >= self.capacity
+
+    def pages(self) -> Iterable[int]:
+        return list(self._state)
+
+    def insert(self, page: int, referenced: bool = True) -> None:
+        if page in self._state:
+            raise PageStateError(f"page {page} already tracked by LHD")
+        if self.full:
+            raise CapacityError("LHD is full; evict before inserting")
+        self._now += 1
+        self._state[page] = [1 if referenced else 0, self._now]
+
+    def touch(self, page: int) -> None:
+        if page not in self._state:
+            raise PageStateError(f"page {page} not tracked by LHD")
+        self._now += 1
+        self._state[page][0] += 1
+
+    def remove(self, page: int) -> None:
+        if self._state.pop(page, None) is None:
+            raise PageStateError(f"page {page} not tracked by LHD")
+
+    def _density(self, page: int) -> float:
+        hits, birth = self._state[page]
+        return hits / (self._now - birth + 1)
+
+    def select_victim(self) -> int:
+        if not self._state:
+            raise PageStateError("cannot select a victim: LHD is empty")
+        resident = list(self._state)
+        start = self._cursor % len(resident)
+        count = min(self.sample, len(resident))
+        candidates = [resident[(start + i) % len(resident)] for i in range(count)]
+        self._cursor = (start + count) % max(1, len(resident))
+        # Lowest density loses; ties go to the oldest birth tick so the
+        # choice is order-independent and deterministic.
+        victim = min(
+            candidates, key=lambda p: (self._density(p), self._state[p][1])
+        )
+        del self._state[victim]
+        return victim
+
+    def select_victim_where(
+        self, predicate: Callable[[int], bool]
+    ) -> int | None:
+        # Filtered sweeps rank the full matching set (not a sample) so
+        # a match is never missed; non-matching pages are untouched.
+        matching = [p for p in self._state if predicate(p)]
+        if not matching:
+            return None
+        victim = min(
+            matching, key=lambda p: (self._density(p), self._state[p][1])
+        )
+        del self._state[victim]
+        return victim
+
+    def check_integrity(self) -> None:
+        if len(self._state) > self.capacity:
+            raise SimulationError(
+                f"LHD resident set {len(self._state)} exceeds capacity "
+                f"{self.capacity}"
+            )
+        for page, (hits, birth) in self._state.items():
+            if birth > self._now or hits < 0:
+                raise SimulationError(
+                    f"LHD invariant broken: page {page} has hits={hits}, "
+                    f"birth={birth} > now={self._now}"
+                )

@@ -1,0 +1,170 @@
+"""MGLRU-style generational clock: multi-generation aging with
+promotion on re-reference.
+
+Pages are grouped into numbered generations.  Inserts land in the
+youngest generation; a re-reference (``touch``) promotes the page to the
+youngest generation's tail.  When the youngest generation fills up
+(``capacity / max_gens`` pages) a fresh, strictly younger generation is
+opened — generation numbers are monotonically increasing and never
+reused, which is what makes aging auditable.  Eviction takes the FIFO
+head of the oldest non-empty generation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CapacityError, PageStateError, SimulationError
+from repro.policyzoo.base import EvictionPolicy
+
+
+class GenClockReplacement(EvictionPolicy):
+    """Generational clock over ``capacity`` pages with ``max_gens``
+    live generations' worth of aging granularity."""
+
+    def __init__(self, capacity: int, max_gens: int = 4) -> None:
+        if capacity < 1:
+            raise CapacityError(
+                f"generational clock needs capacity >= 1, got {capacity}"
+            )
+        if max_gens < 2:
+            raise CapacityError(f"need at least 2 generations, got {max_gens}")
+        self.capacity = capacity
+        self.max_gens = max_gens
+        self.gen_target = max(1, capacity // max_gens)
+        #: Monotonically increasing id of the youngest generation.
+        self._youngest = 0
+        # gen id -> insertion-ordered page set (values unused).
+        self._gens: dict[int, dict[int, None]] = {0: {}}
+        self._gen_of: dict[int, int] = {}
+
+    # -- membership ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gen_of)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._gen_of
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    @property
+    def youngest_generation(self) -> int:
+        return self._youngest
+
+    def generation_of(self, page: int) -> int:
+        try:
+            return self._gen_of[page]
+        except KeyError:
+            raise PageStateError(
+                f"page {page} not tracked by the generational clock"
+            ) from None
+
+    def pages(self) -> Iterable[int]:
+        """Pages oldest generation first, FIFO order within each."""
+        out: list[int] = []
+        for gen in sorted(self._gens):
+            out.extend(self._gens[gen])
+        return out
+
+    # -- aging --------------------------------------------------------
+    def _youngest_slot(self) -> dict[int, None]:
+        """The youngest generation's page set, opening a fresh
+        generation when the current one is at target size."""
+        current = self._gens[self._youngest]
+        if len(current) >= self.gen_target:
+            self._youngest += 1
+            self._gens[self._youngest] = {}
+            current = self._gens[self._youngest]
+        return current
+
+    def _drop_if_empty(self, gen: int) -> None:
+        if gen != self._youngest and not self._gens[gen]:
+            del self._gens[gen]
+
+    # -- mutation -----------------------------------------------------
+    def insert(self, page: int, referenced: bool = True) -> None:
+        if page in self._gen_of:
+            raise PageStateError(
+                f"page {page} already tracked by the generational clock"
+            )
+        if self.full:
+            raise CapacityError(
+                "generational clock is full; evict before inserting"
+            )
+        self._youngest_slot()[page] = None
+        self._gen_of[page] = self._youngest
+
+    def touch(self, page: int) -> None:
+        gen = self.generation_of(page)
+        if gen == self._youngest:
+            # Refresh recency within the generation.
+            slot = self._gens[gen]
+            del slot[page]
+            slot[page] = None
+            return
+        del self._gens[gen][page]
+        self._drop_if_empty(gen)
+        self._youngest_slot()[page] = None
+        self._gen_of[page] = self._youngest
+
+    def remove(self, page: int) -> None:
+        gen = self.generation_of(page)
+        del self._gens[gen][page]
+        del self._gen_of[page]
+        self._drop_if_empty(gen)
+
+    # -- victim selection ---------------------------------------------
+    def select_victim(self) -> int:
+        if not self._gen_of:
+            raise PageStateError(
+                "cannot select a victim: generational clock is empty"
+            )
+        for gen in sorted(self._gens):
+            slot = self._gens[gen]
+            if slot:
+                page = next(iter(slot))
+                del slot[page]
+                del self._gen_of[page]
+                self._drop_if_empty(gen)
+                return page
+        raise SimulationError("generational clock tracked pages but no "
+                              "generation holds any")
+
+    def select_victim_where(
+        self, predicate: Callable[[int], bool]
+    ) -> int | None:
+        for gen in sorted(self._gens):
+            for page in self._gens[gen]:
+                if predicate(page):
+                    del self._gens[gen][page]
+                    del self._gen_of[page]
+                    self._drop_if_empty(gen)
+                    return page
+        return None
+
+    # -- audit hook ---------------------------------------------------
+    def check_integrity(self) -> None:
+        listed = [p for gen in self._gens.values() for p in gen]
+        if len(listed) != len(set(listed)):
+            raise SimulationError(
+                "generational clock invariant broken: a page appears in "
+                "more than one generation"
+            )
+        if set(listed) != set(self._gen_of):
+            raise SimulationError(
+                "generational clock invariant broken: generation contents "
+                "diverge from the page index"
+            )
+        for page, gen in self._gen_of.items():
+            if gen > self._youngest:
+                raise SimulationError(
+                    f"generational clock invariant broken: page {page} in "
+                    f"generation {gen} > youngest {self._youngest}"
+                )
+        if len(self._gen_of) > self.capacity:
+            raise SimulationError(
+                f"generational clock resident set {len(self._gen_of)} "
+                f"exceeds capacity {self.capacity}"
+            )

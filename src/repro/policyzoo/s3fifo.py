@@ -1,0 +1,182 @@
+"""S3-FIFO replacement: small/main resident queues plus a ghost history.
+
+New pages enter the *small* probationary queue (sized at ~10% of
+capacity).  A small-queue page evicted without any re-reference leaves a
+*ghost* entry behind — a non-resident breadcrumb bounded at ``capacity``
+entries — so a quick re-admission is recognised as a hot page and lands
+directly in *main*.  A small-queue page that was re-referenced while
+probationary is promoted to main instead of evicted.  Main-queue
+eviction gives re-referenced pages a second chance by re-queueing them
+with a decremented frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import CapacityError, PageStateError, SimulationError
+from repro.policyzoo.base import EvictionPolicy
+
+#: Saturation bound for the per-page frequency counter (as in the paper:
+#: two bits are enough).
+_FREQ_MAX = 3
+
+
+class S3FifoReplacement(EvictionPolicy):
+    """S3-FIFO over ``capacity`` resident pages."""
+
+    def __init__(self, capacity: int, small_fraction: float = 0.1) -> None:
+        if capacity < 1:
+            raise CapacityError(f"S3-FIFO needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self.small_target = max(1, int(capacity * small_fraction))
+        self.ghost_bound = capacity
+        # Insertion-ordered page -> saturating frequency counter.
+        self._small: dict[int, int] = {}
+        self._main: dict[int, int] = {}
+        # Insertion-ordered ghost set (values unused).
+        self._ghost: dict[int, None] = {}
+
+    # -- membership ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._small) + len(self._main)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._small or page in self._main
+
+    @property
+    def full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def pages(self) -> Iterable[int]:
+        """Resident pages, small queue first, FIFO order within each."""
+        return list(self._small) + list(self._main)
+
+    def ghost_pages(self) -> Iterable[int]:
+        return list(self._ghost)
+
+    # -- mutation -----------------------------------------------------
+    def insert(self, page: int, referenced: bool = True) -> None:
+        if page in self:
+            raise PageStateError(f"page {page} already tracked by S3-FIFO")
+        if self.full:
+            raise CapacityError("S3-FIFO is full; evict before inserting")
+        if page in self._ghost:
+            # A recent ghost hit: the page proved itself, skip probation.
+            del self._ghost[page]
+            self._main[page] = 0
+        else:
+            self._small[page] = 0
+
+    def touch(self, page: int) -> None:
+        for queue in (self._small, self._main):
+            if page in queue:
+                queue[page] = min(queue[page] + 1, _FREQ_MAX)
+                return
+        raise PageStateError(f"page {page} not tracked by S3-FIFO")
+
+    def remove(self, page: int) -> None:
+        if page in self._small:
+            del self._small[page]
+        elif page in self._main:
+            del self._main[page]
+        else:
+            raise PageStateError(f"page {page} not tracked by S3-FIFO")
+
+    # -- victim selection ---------------------------------------------
+    def _remember_ghost(self, page: int) -> None:
+        while len(self._ghost) >= self.ghost_bound:
+            oldest = next(iter(self._ghost))
+            del self._ghost[oldest]
+        self._ghost[page] = None
+
+    def _evict_small(self) -> int | None:
+        """One small-queue pass: evict or promote the head; None if the
+        head was promoted (caller retries)."""
+        page, freq = next(iter(self._small.items()))
+        del self._small[page]
+        if freq > 0:
+            self._main[page] = 0
+            return None
+        self._remember_ghost(page)
+        return page
+
+    def _evict_main(self) -> int | None:
+        """One main-queue pass: evict the head, or re-queue it with a
+        second chance; None if re-queued (caller retries)."""
+        page, freq = next(iter(self._main.items()))
+        del self._main[page]
+        if freq > 0:
+            self._main[page] = freq - 1
+            return None
+        return page
+
+    def select_victim(self) -> int:
+        if not self._small and not self._main:
+            raise PageStateError("cannot select a victim: S3-FIFO is empty")
+        # Each pass either evicts or strictly decrements a frequency /
+        # drains the small queue, so the loop terminates well inside
+        # this bound.
+        for _ in range((len(self) + 1) * (_FREQ_MAX + 2)):
+            if self._small and (
+                len(self._small) >= self.small_target or not self._main
+            ):
+                victim = self._evict_small()
+            else:
+                victim = self._evict_main()
+            if victim is not None:
+                return victim
+        raise SimulationError("S3-FIFO victim sweep failed to terminate")
+
+    def select_victim_where(
+        self, predicate: Callable[[int], bool]
+    ) -> int | None:
+        # A filtered sweep must not disturb non-matching pages, so it
+        # cannot run the normal promote/re-queue machinery.  Rank the
+        # matching pages by the policy's preference instead: colder
+        # first, probationary (small) before established (main), FIFO
+        # order as the tiebreak — then remove exactly that page.
+        best: tuple[int, int, int] | None = None
+        best_page: int | None = None
+        for queue_rank, queue in ((0, self._small), (1, self._main)):
+            for position, (page, freq) in enumerate(queue.items()):
+                if not predicate(page):
+                    continue
+                key = (freq, queue_rank, position)
+                if best is None or key < best:
+                    best, best_page = key, page
+        if best_page is None:
+            return None
+        if best_page in self._small:
+            del self._small[best_page]
+            self._remember_ghost(best_page)
+        else:
+            del self._main[best_page]
+        return best_page
+
+    # -- audit hook ---------------------------------------------------
+    def check_integrity(self) -> None:
+        overlap = self._small.keys() & self._main.keys()
+        if overlap:
+            raise SimulationError(
+                f"S3-FIFO invariant broken: {len(overlap)} page(s) in both "
+                f"small and main (e.g. {next(iter(overlap))})"
+            )
+        resident_ghosts = self._ghost.keys() & (
+            self._small.keys() | self._main.keys()
+        )
+        if resident_ghosts:
+            raise SimulationError(
+                f"S3-FIFO invariant broken: {len(resident_ghosts)} resident "
+                "page(s) still in the ghost queue"
+            )
+        if len(self._ghost) > self.ghost_bound:
+            raise SimulationError(
+                f"S3-FIFO ghost queue overflow: {len(self._ghost)} entries "
+                f"> bound {self.ghost_bound}"
+            )
+        if len(self) > self.capacity:
+            raise SimulationError(
+                f"S3-FIFO resident set {len(self)} exceeds capacity "
+                f"{self.capacity}"
+            )

@@ -19,10 +19,22 @@ Tier-1/Tier-2/Tier-3 hierarchy — on the simulated-time axis:
   replays a mix and reports per-tenant results, slowdowns vs solo runs,
   and Jain-fairness summaries.
 
+Per-tenant eviction policies (:mod:`repro.policyzoo`) plug in through
+``TenantSpec(tier1_policy=..., tier2_policy=...)`` or the server-wide
+``TenantServer(tier1_policy=..., tier2_policy=...)`` defaults, and a
+:class:`~repro.policyzoo.governor.GovernorConfig` passed as
+``governor=`` rate-limits each tenant's tier migrations.
+
 CLI: ``gmt-serve --tenants bfs,pagerank --policy reuse`` (or
 ``python -m repro.serve``).
 """
 
+from repro.policyzoo import (
+    EVICTION_POLICY_NAMES,
+    GovernorConfig,
+    MigrationGovernor,
+    PartitionedPolicy,
+)
 from repro.serve.quota import QUOTA_MODES, OwnedTier, QuotaConfig, TierQuotas, split_frames
 from repro.serve.runtime import SplitStats, TenantAwareRuntime
 from repro.serve.scheduler import (
@@ -48,11 +60,15 @@ from repro.serve.stream import (
 )
 
 __all__ = [
+    "EVICTION_POLICY_NAMES",
     "NAMESPACE_BITS",
     "QUOTA_MODES",
     "SCHEDULER_NAMES",
     "FifoScheduler",
+    "GovernorConfig",
+    "MigrationGovernor",
     "OwnedTier",
+    "PartitionedPolicy",
     "QuotaConfig",
     "RoundRobinScheduler",
     "ServeResult",

@@ -32,6 +32,9 @@ from repro.core.stats import RuntimeStats
 from repro.errors import ConfigError
 from repro.mem.page import PageState
 from repro.obs.digest import LatencyDigest
+from repro.policyzoo.governor import GovernorConfig, MigrationGovernor
+from repro.policyzoo.partition import PartitionedPolicy
+from repro.policyzoo.registry import make_eviction_policy
 from repro.serve.quota import OwnedTier, QuotaConfig, TierQuotas
 from repro.serve.stream import owner_of_page
 
@@ -132,6 +135,14 @@ class TenantAwareRuntime(GMTRuntime):
         quota: per-tenant tier budgets (default: no quotas).
         weights: scheduling weights, used as default quota shares.
         policy_factory: forwarded to :class:`GMTRuntime`.
+        tier1_policies / tier2_policies: per-tenant eviction policy
+            names (``repro.policyzoo`` registry), one entry per tenant;
+            ``None`` entries fall back to the shared default for that
+            tier.  Passing ``None`` for the whole list keeps the
+            pre-zoo shared structure for that tier (byte-identical).
+        governor: token-bucket migration admission control
+            (:class:`~repro.policyzoo.governor.GovernorConfig`); None
+            disables throttling.
     """
 
     orchestration = "gpu"
@@ -143,16 +154,66 @@ class TenantAwareRuntime(GMTRuntime):
         quota: QuotaConfig | None = None,
         weights: list[float] | None = None,
         policy_factory=None,
+        tier1_policies: list[str | None] | None = None,
+        tier2_policies: list[str | None] | None = None,
+        governor: GovernorConfig | None = None,
     ) -> None:
         if not tenant_names:
             raise ConfigError("TenantAwareRuntime needs at least one tenant")
         if weights is not None and len(weights) != len(tenant_names):
             raise ConfigError("weights must name every tenant")
+        for label, policies in (
+            ("tier1_policies", tier1_policies),
+            ("tier2_policies", tier2_policies),
+        ):
+            if policies is not None and len(policies) != len(tenant_names):
+                raise ConfigError(f"{label} must name every tenant")
         super().__init__(config, policy_factory)
         self.tenant_names = list(tenant_names)
         # Swap in owner-aware tiers (both are empty at this point).
         self.tier1 = OwnedTier("Tier-1", config.tier1_frames, owner_of_page)
         self.tier2 = OwnedTier("Tier-2", config.tier2_frames, owner_of_page)
+        # Per-tenant eviction policies: replace the shared replacement
+        # structures (still empty here) with one-partition-per-tenant
+        # composites.  Each sub-policy gets the full tier capacity —
+        # budgets stay the quota layer's job.
+        if tier1_policies is not None:
+            names = [name or config.tier1_eviction for name in tier1_policies]
+            self.t1_clock = PartitionedPolicy(
+                [
+                    make_eviction_policy(name, config.tier1_frames, tier=1)
+                    for name in names
+                ],
+                owner_of_page,
+                names=names,
+            )
+            self.tier1_policy_names = tuple(names)
+        else:
+            self.tier1_policy_names = (config.tier1_eviction,) * len(tenant_names)
+        if tier2_policies is not None and config.tier2_frames > 0:
+            default = config.tier2_eviction or (
+                "clock" if self.policy.tier2_uses_clock else "fifo"
+            )
+            names = [name or default for name in tier2_policies]
+            self._t2_order = PartitionedPolicy(
+                [
+                    make_eviction_policy(name, config.tier2_frames, tier=2)
+                    for name in names
+                ],
+                owner_of_page,
+                names=names,
+            )
+            self.tier2_policy_names = tuple(names)
+        else:
+            shared = config.tier2_eviction or (
+                "clock" if self.policy.tier2_uses_clock else "fifo"
+            )
+            self.tier2_policy_names = (shared,) * len(tenant_names)
+        self.governor = (
+            None
+            if governor is None
+            else MigrationGovernor(governor, len(tenant_names))
+        )
         self.quotas = TierQuotas(
             quota or QuotaConfig(),
             tier1_capacity=config.tier1_frames,
@@ -240,6 +301,26 @@ class TenantAwareRuntime(GMTRuntime):
             return True
         owner = owner_of_page(state.page)
         return self.tier2.owner_count(owner) < self.quotas.tier2_budget(owner)
+
+    # -- migration governor (TierBPF-style admission control) ------------
+    def _admit_demotion(self, state: PageState) -> bool:
+        if self.governor is None:
+            return True
+        # Migrations are charged to the page's owner — the tenant whose
+        # data is moving over the interconnect — on the runtime's
+        # logical clock (deterministic under the replay engine).
+        return self.governor.try_take(
+            owner_of_page(state.page), self.stats.coalesced_accesses
+        )
+
+    def _promotion_stall_ns(self, page: int) -> float:
+        if self.governor is None:
+            return 0.0
+        if self.governor.try_take(
+            owner_of_page(page), self.stats.coalesced_accesses
+        ):
+            return 0.0
+        return self.governor.config.promotion_stall_ns
 
     def _select_tier2_victim(self) -> int:
         if self.quotas.enabled:

@@ -257,6 +257,13 @@ class TenantServer:
         discipline: scheduling discipline (:data:`SCHEDULER_NAMES`).
         quota: per-tenant tier budgets (default: none).
         policy_factory: forwarded to the runtime.
+        tier1_policy / tier2_policy: server-wide default eviction policy
+            for tenants whose :class:`TenantSpec` leaves the tier unset
+            (``repro.policyzoo`` registry names).  When every tenant
+            resolves to None the server keeps one shared structure per
+            tier — the pre-zoo behaviour, byte-identical.
+        governor: :class:`~repro.policyzoo.governor.GovernorConfig`
+            enabling per-tenant migration admission control.
     """
 
     def __init__(
@@ -266,6 +273,9 @@ class TenantServer:
         discipline: str = "round-robin",
         quota: QuotaConfig | None = None,
         policy_factory=None,
+        tier1_policy: str | None = None,
+        tier2_policy: str | None = None,
+        governor=None,
     ) -> None:
         if not streams:
             raise ConfigError("TenantServer needs at least one tenant stream")
@@ -276,17 +286,33 @@ class TenantServer:
         indices = [s.index for s in streams]
         if indices != list(range(len(streams))):
             raise ConfigError("tenant stream indices must be 0..N-1 in order")
+        for name in (tier1_policy, tier2_policy):
+            if name is not None:
+                from repro.policyzoo.registry import validate_policy_name
+
+                validate_policy_name(name)
         self.config = config
         self.streams = streams
         self.discipline = discipline
         self.quota = quota or QuotaConfig()
         self._policy_factory = policy_factory
+        self.governor = governor
+        # Per-tenant policy resolution: the tenant's spec wins, then the
+        # server-wide default.  All-None at a tier keeps that tier's
+        # single shared structure (exact pre-zoo replay).
+        tier1_policies = [s.spec.tier1_policy or tier1_policy for s in streams]
+        tier2_policies = [s.spec.tier2_policy or tier2_policy for s in streams]
+        per_tenant_t1 = any(p is not None for p in tier1_policies)
+        per_tenant_t2 = any(p is not None for p in tier2_policies)
         self.runtime = TenantAwareRuntime(
             config,
             tenant_names=[s.name for s in streams],
             quota=self.quota,
             weights=[s.weight for s in streams],
             policy_factory=policy_factory,
+            tier1_policies=tier1_policies if per_tenant_t1 else None,
+            tier2_policies=tier2_policies if per_tenant_t2 else None,
+            governor=governor,
         )
 
     # -- telemetry -------------------------------------------------------

@@ -57,6 +57,13 @@ class TenantSpec:
             tenant's modelled miss-latency percentiles; drives the
             per-tenant SLO gauges and the served-table violation marks
             (None = no target).
+        tier1_policy / tier2_policy: eviction policy managing this
+            tenant's frames at each tier, from the
+            :mod:`repro.policyzoo` registry ("clock", "s3fifo", "mglru",
+            "lfu", "mru", "lhd", ...).  None (the default) keeps the
+            tenant on the server-wide policy — when every tenant leaves
+            both unset, the server runs one shared structure per tier
+            exactly as before the zoo existed.
     """
 
     name: str
@@ -65,6 +72,8 @@ class TenantSpec:
     arrival: int = 0
     slo_p50_ns: float | None = None
     slo_p99_ns: float | None = None
+    tier1_policy: str | None = None
+    tier2_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -75,6 +84,12 @@ class TenantSpec:
             target = getattr(self, attr)
             if target is not None and target <= 0:
                 raise ConfigError(f"tenant {self.name!r}: {attr} must be positive")
+        for attr in ("tier1_policy", "tier2_policy"):
+            name = getattr(self, attr)
+            if name is not None:
+                from repro.policyzoo.registry import validate_policy_name
+
+                validate_policy_name(name)
 
 
 class TenantStream:

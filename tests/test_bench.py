@@ -76,9 +76,42 @@ class TestCompare:
         assert len(problems) == 1 and "geometry mismatch" in problems[0]
 
 
+class TestInformationalCells:
+    """Policy-zoo cells ride the baseline without gating its budgets."""
+
+    @pytest.fixture(scope="class")
+    def zoo_doc(self):
+        return bench.run_bench(
+            cells=(), scale=4096, seed=0, zoo=(("bfs", "reuse", "s3fifo"),)
+        )
+
+    def test_zoo_matrix_covers_every_policy(self):
+        from repro.policyzoo import ZOO_POLICY_NAMES
+
+        assert [pol for _, _, pol in bench.ZOO_CELLS] == list(ZOO_POLICY_NAMES)
+
+    def test_cell_id_and_marker(self, zoo_doc):
+        record = zoo_doc["cells"]["bfs/reuse+s3fifo"]
+        assert record["informational"] is True
+        for metric in bench.SIM_METRICS:
+            assert metric in record
+
+    def test_metric_drift_is_not_gated(self, zoo_doc):
+        current = copy.deepcopy(zoo_doc)
+        current["cells"]["bfs/reuse+s3fifo"]["elapsed_ns"] *= 3.0
+        assert bench.compare(zoo_doc, current) == []
+
+    def test_missing_informational_cell_still_reported(self, zoo_doc):
+        current = copy.deepcopy(zoo_doc)
+        del current["cells"]["bfs/reuse+s3fifo"]
+        problems = bench.compare(zoo_doc, current)
+        assert problems == ["bfs/reuse+s3fifo: missing from current run"]
+
+
 class TestCLI:
     def test_record_then_check_passes(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        monkeypatch.setattr(bench, "ZOO_CELLS", ())
         path = tmp_path / "BENCH_baseline.json"
         assert bench.main(["--out", str(path)]) == 0
         doc = json.loads(path.read_text())
@@ -88,6 +121,7 @@ class TestCLI:
 
     def test_injected_slowdown_fails_the_gate(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        monkeypatch.setattr(bench, "ZOO_CELLS", ())
         path = tmp_path / "BENCH_baseline.json"
         assert bench.main(["--out", str(path)]) == 0
 
@@ -111,6 +145,7 @@ class TestCLI:
         self, tmp_path, monkeypatch, capsys
     ):
         monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        monkeypatch.setattr(bench, "ZOO_CELLS", ())
         path = tmp_path / "BENCH_baseline.json"
         assert bench.main(["--out", str(path)]) == 0
         doc = json.loads(path.read_text())
@@ -122,6 +157,7 @@ class TestCLI:
 
     def test_missing_baseline_is_a_distinct_error(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)
+        monkeypatch.setattr(bench, "ZOO_CELLS", ())
         rc = bench.main(["--check", "--baseline", str(tmp_path / "nope.json")])
         assert rc == 2
 

@@ -1,0 +1,99 @@
+"""Conformance harness x policy zoo: gmt-check with each eviction policy
+substituted, and the seeded ghost-queue corruption self-test."""
+
+import pytest
+
+from repro.check.differential import run_conformance
+from repro.check.identities import CATALOG
+from repro.errors import ConfigError
+from repro.policyzoo import ZOO_POLICY_NAMES
+
+SCALE = 8192
+
+
+class TestCatalogue:
+    def test_eviction_structural_identity_registered(self):
+        assert "eviction-structural" in {name for name, _ in CATALOG}
+
+
+@pytest.mark.parametrize("name", ZOO_POLICY_NAMES)
+class TestConformancePerPolicy:
+    def test_full_matrix_passes(self, name):
+        report = run_conformance(
+            "hotspot",
+            scale=SCALE,
+            tier1_policy=name,
+            tier2_policy=name,
+        )
+        assert report.ok, report.summary_lines()
+        assert report.tier1_policy == name
+        assert report.tier2_policy == name
+        assert any(
+            "eviction" in line for line in report.summary_lines()
+        )
+
+
+class TestGhostLeakSelfTest:
+    def test_seeded_ghost_leak_is_detected(self):
+        report = run_conformance(
+            "hotspot",
+            scale=SCALE,
+            tier1_policy="s3fifo",
+            metamorphic=False,
+            serve=False,
+            inject="ghost-leak",
+        )
+        assert not report.ok
+        assert any(
+            v.identity == "eviction-structural" for _, v in report.violations
+        )
+
+    def test_injection_needs_an_s3fifo_somewhere(self):
+        with pytest.raises(ConfigError):
+            run_conformance(
+                "hotspot",
+                scale=SCALE,
+                metamorphic=False,
+                serve=False,
+                inject="ghost-leak",
+            )
+
+    def test_cli_exposes_the_injection(self, capsys):
+        from repro.check.cli import main
+
+        rc = main(
+            [
+                "hotspot",
+                "--scale",
+                str(SCALE),
+                "--tier1-policy",
+                "s3fifo",
+                "--no-metamorphic",
+                "--no-serve",
+                "--inject",
+                "ghost-leak",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "eviction-structural" in out
+
+    def test_cli_policy_flags_pass_clean(self, capsys):
+        from repro.check.cli import main
+
+        rc = main(
+            [
+                "hotspot",
+                "--scale",
+                str(SCALE),
+                "--tier1-policy",
+                "mglru",
+                "--tier2-policy",
+                "lfu",
+                "--runtimes",
+                "reuse",
+                "--no-metamorphic",
+            ]
+        )
+        assert rc == 0
+        assert "t1=mglru" in capsys.readouterr().out

@@ -183,6 +183,7 @@ class TestRunner:
             "fig14",
             "extensions",
             "serve_mix",
+            "isolation",
         }
 
     def test_serve_mix_sweep(self):

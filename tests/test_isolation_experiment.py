@@ -1,0 +1,90 @@
+"""The isolation experiment: adversarial pairs, shared vs per-tenant
+policies, governor on/off — registration, fairness acceptance, and
+engine-cache reproducibility."""
+
+import pytest
+
+from repro.experiments.engine import Engine, ResultCache
+from repro.experiments.isolation import GOVERNORS, MODES, PAIRS, SPEC
+from repro.experiments.runner import EXPERIMENTS, get_spec, run_experiment
+
+#: The full-size run (the documented default for this experiment) is
+#: where both pairs show their effect; the module-scoped fixture keeps
+#: it to one execution.
+SCALE = 4096
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment("isolation", scale=SCALE)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "isolation" in EXPERIMENTS
+        assert get_spec("isolation") is SPEC
+
+    def test_every_pair_has_a_governor_setting(self):
+        assert set(GOVERNORS) == set(PAIRS)
+
+
+class TestTables:
+    def test_one_table_per_pair(self, results):
+        assert [r.extras["pair"] for r in results] == list(PAIRS)
+
+    def test_rows_cover_every_mode(self, results):
+        for result in results:
+            assert [row[0] for row in result.rows] == list(MODES)
+            assert len(result.headers) == 2 + len(PAIRS[result.extras["pair"]]) + 2
+
+    def test_renders(self, results):
+        for result in results:
+            assert result.extras["pair"] in result.to_text()
+
+
+class TestFairnessAcceptance:
+    """The headline claim: per-tenant policies + the governor improve
+    Jain fairness over the shared-structure baseline on both
+    adversarial pairs."""
+
+    def jain(self, result, mode):
+        return result.extras["fairness"][mode]["jain_index"]
+
+    def test_split_plus_governor_beats_shared(self, results):
+        for result in results:
+            shared = self.jain(result, "shared")
+            governed = self.jain(result, "split+quota+governor")
+            assert governed > shared, (result.extras["pair"], shared, governed)
+
+    def test_thrash_pair_actually_throttles(self, results):
+        by_pair = {r.extras["pair"]: r for r in results}
+        outcome = by_pair["thrash-vs-steady"].extras["outcomes"][
+            "split+quota+governor"
+        ]
+        assert sum(t.stats.migration_throttled for t in outcome.tenants) > 0
+
+    def test_quotas_fix_the_thrash_monopoly(self, results):
+        by_pair = {r.extras["pair"]: r for r in results}
+        result = by_pair["thrash-vs-steady"]
+        assert self.jain(result, "shared+quota") > self.jain(result, "shared")
+
+    def test_split_policies_fix_the_policy_mismatch(self, results):
+        by_pair = {r.extras["pair"]: r for r in results}
+        result = by_pair["scan-vs-zipf"]
+        assert self.jain(result, "split+quota") > self.jain(result, "shared")
+
+
+class TestCacheReproducibility:
+    def test_warm_rerun_is_fully_cache_served_and_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = Engine(cache=cache, memo={})
+        first = run_experiment("isolation", scale=SCALE, engine=cold)
+        assert cold.stats.executed > 0
+
+        warm = Engine(cache=cache, memo={})  # fresh memo = "new process"
+        second = run_experiment("isolation", scale=SCALE, engine=warm)
+        assert warm.stats.executed == 0
+
+        for a, b in zip(first, second):
+            assert a.rows == b.rows
+            assert a.extras["fairness"] == b.extras["fairness"]

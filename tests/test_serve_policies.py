@@ -1,0 +1,160 @@
+"""Serving-layer integration of the policy zoo: per-tenant eviction
+policies, the partitioned structures, and the migration governor."""
+
+import pytest
+
+from repro.check.identities import audit_runtime, audit_stats
+from repro.core.runtime import GMTRuntime
+from repro.core.stats import RuntimeStats
+from repro.errors import ConfigError
+from repro.experiments.harness import default_config, get_workload
+from repro.mem.clock_replacement import ClockReplacement
+from repro.policyzoo import PartitionedPolicy, ZOO_POLICY_NAMES
+from repro.serve import (
+    GovernorConfig,
+    QuotaConfig,
+    TenantServer,
+    TenantSpec,
+    build_tenants,
+)
+
+SCALE = 8192  # tiny geometry: Tier-1 = 32 frames, Tier-2 = 128
+
+#: A deliberately tight bucket so small test runs actually throttle.
+TIGHT_GOVERNOR = GovernorConfig(
+    tokens_per_1k_accesses=5.0, burst=2.0, promotion_stall_ns=10_000.0
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config(SCALE)
+
+
+def make_server(config, names, **kwargs):
+    streams = build_tenants(list(names), config)
+    return TenantServer(config, streams, **kwargs)
+
+
+class TestDefaultModeUnchanged:
+    """Acceptance lock: with no zoo policy assigned, serving still runs
+    on the single shared structures and a 1-tenant serve reproduces the
+    solo replay byte-for-byte."""
+
+    def test_shared_mode_keeps_the_historical_structures(self, config):
+        server = make_server(config, ["bfs", "hotspot"])
+        assert isinstance(server.runtime.t1_clock, ClockReplacement)
+        assert not isinstance(server.runtime.t1_clock, PartitionedPolicy)
+        assert server.runtime.governor is None
+        assert server.runtime.tier1_policy_names == ("clock", "clock")
+
+    def test_single_tenant_serve_is_byte_identical_to_solo(self, config):
+        workload = get_workload("bfs", config)
+        solo = GMTRuntime(config).run(workload)
+        outcome = make_server(config, ["bfs"]).run(solo_baselines=False)
+        served = outcome.result
+        assert served.elapsed_ns == solo.elapsed_ns
+        assert served.ssd_io_bytes == solo.ssd_io_bytes
+        for field in RuntimeStats.counter_names():
+            assert getattr(served.stats, field) == getattr(solo.stats, field), field
+
+
+@pytest.mark.parametrize("name", ZOO_POLICY_NAMES)
+class TestZooPoliciesServe:
+    def test_two_tenants_serve_and_audit_clean(self, config, name):
+        server = make_server(
+            config,
+            ["bfs", "hotspot"],
+            tier1_policy=name,
+            tier2_policy=name,
+            quota=QuotaConfig(mode="static"),
+        )
+        assert isinstance(server.runtime.t1_clock, PartitionedPolicy)
+        assert server.runtime.tier1_policy_names == (name, name)
+        outcome = server.run(solo_baselines=False)
+        assert outcome.elapsed_ns > 0
+        assert audit_runtime(server.runtime) == []
+        assert audit_stats(server.runtime.stats) == []
+
+
+class TestPerTenantSpecs:
+    def test_specs_can_mix_policies(self, config):
+        specs = [
+            TenantSpec(name="a", workload="bfs", tier1_policy="mru"),
+            TenantSpec(name="b", workload="hotspot", tier1_policy="lfu"),
+        ]
+        streams = build_tenants(specs, config)
+        server = TenantServer(config, streams)
+        assert server.runtime.tier1_policy_names == ("mru", "lfu")
+        outcome = server.run(solo_baselines=False)
+        assert audit_runtime(server.runtime) == []
+
+    def test_spec_default_falls_back_to_server_default(self, config):
+        specs = [
+            TenantSpec(name="a", workload="bfs", tier1_policy="mru"),
+            TenantSpec(name="b", workload="hotspot"),
+        ]
+        streams = build_tenants(specs, config)
+        server = TenantServer(config, streams, tier1_policy="s3fifo")
+        assert server.runtime.tier1_policy_names == ("mru", "s3fifo")
+
+    def test_bad_policy_name_rejected_in_spec(self):
+        with pytest.raises(ConfigError):
+            TenantSpec(name="a", workload="bfs", tier1_policy="arc")
+
+    def test_bad_policy_name_rejected_in_server(self, config):
+        with pytest.raises(ConfigError):
+            make_server(config, ["bfs"], tier1_policy="arc")
+
+
+class TestGovernor:
+    @pytest.fixture(scope="class")
+    def served(self, config):
+        server = make_server(
+            config,
+            ["bfs", "hotspot"],
+            governor=TIGHT_GOVERNOR,
+        )
+        outcome = server.run(solo_baselines=False)
+        return server, outcome
+
+    def test_throttling_engages_and_is_counted(self, served):
+        server, outcome = served
+        stats = server.runtime.stats
+        assert stats.migration_throttled > 0
+        assert stats.migration_throttled == (
+            stats.promotions_throttled + stats.demotions_throttled
+        )
+
+    def test_throttling_attributed_to_tenants(self, served):
+        server, outcome = served
+        per_tenant = sum(t.stats.migration_throttled for t in outcome.tenants)
+        assert per_tenant == server.runtime.stats.migration_throttled
+
+    def test_metric_exported(self, served):
+        server, _ = served
+        assert "migration_throttled" in RuntimeStats.EXPORTED_PROPERTIES
+        assert "migration_throttled" in RuntimeStats.METRIC_HELP
+
+    def test_throttled_run_still_audits_clean(self, served):
+        server, _ = served
+        assert audit_runtime(server.runtime) == []
+        assert audit_stats(server.runtime.stats) == []
+
+    def test_governed_run_is_deterministic(self, config):
+        def run():
+            server = make_server(
+                config, ["bfs", "hotspot"], governor=TIGHT_GOVERNOR
+            )
+            outcome = server.run(solo_baselines=False)
+            return (
+                outcome.elapsed_ns,
+                server.runtime.stats.migration_throttled,
+            )
+
+        assert run() == run()
+
+    def test_no_governor_means_no_throttling(self, config):
+        server = make_server(config, ["bfs", "hotspot"])
+        server.run(solo_baselines=False)
+        assert server.runtime.stats.migration_throttled == 0
