@@ -3,16 +3,25 @@
 Everything a downstream user of the reproduction needs, re-exported from
 one module so internal refactors never break callers:
 
->>> from repro.api import RuntimeConfig, GMTRuntime, run_experiment
+>>> from repro.api import RuntimeConfig, make_runtime, run_experiment
 >>> config = RuntimeConfig.paper_default(scale=1024)
+>>> runtime = make_runtime(config, engine="vector")
 >>> results = run_experiment("fig9", scale=1024)
 
-The names here are covered by the compatibility promise in
-``docs/api.md``; prefer them over deep imports.
+``repro.api`` is the **stable** surface: the names here are covered by
+the compatibility promise in ``docs/api.md``.  Everything else —
+``repro.core``, ``repro.mem``, ``repro.sim``, ... — is internal and may
+be reshaped without notice; prefer these re-exports over deep imports.
 
 - Runtime: :class:`GMTRuntime`, :class:`BamRuntime`, :class:`HmmRuntime`,
   :class:`DragonRuntime`, :class:`RuntimeConfig` (alias of
   :class:`GMTConfig`), :class:`RunResult`, :class:`RuntimeStats`.
+- Engine selection: :func:`make_runtime` (the one constructor every tool
+  routes through), :func:`resolve_engine`, :data:`ENGINE_NAMES` —
+  ``"scalar"`` is the reference per-access loop, ``"vector"`` the
+  byte-identical struct-of-arrays batch engine, ``"auto"`` picks vector
+  whenever nothing needs per-access observation (see
+  ``docs/performance.md``).
 - Experiments: :class:`ExperimentSpec`, :func:`run_spec`,
   :func:`run_experiment`, :data:`EXPERIMENTS`, :class:`ExperimentResult`.
 - Engine: :class:`Cell`, :class:`Engine`, :class:`ResultCache`,
@@ -47,7 +56,15 @@ from repro.check import (
     audit_stats,
     run_conformance,
 )
-from repro.core import GMTConfig, GMTRuntime, RunResult, RuntimeStats
+from repro.core import (
+    ENGINE_NAMES,
+    GMTConfig,
+    GMTRuntime,
+    RunResult,
+    RuntimeStats,
+    make_runtime,
+    resolve_engine,
+)
 from repro.core.config import DEFAULT_SCALE
 from repro.experiments.engine import Cell, Engine, EngineStats, ResultCache, run_cells
 from repro.experiments.harness import ExperimentResult, default_config
@@ -83,6 +100,7 @@ def serve(
     tier2_policy: str | None = None,
     governor: GovernorConfig | None = None,
     solo_baselines: bool = True,
+    engine: str | None = None,
 ):
     """Serve a tenant mix on one shared hierarchy; returns a ``ServeResult``.
 
@@ -104,6 +122,9 @@ def serve(
             migration admission control.
         solo_baselines: also replay each stream solo so per-tenant
             slowdowns and fairness are populated.
+        engine: replay engine for the solo baselines
+            (:data:`ENGINE_NAMES`); the shared multiplexed runtime always
+            replays scalar.  Defaults to ``config.engine``.
     """
     from repro.serve import TenantServer, build_tenants
 
@@ -118,6 +139,7 @@ def serve(
         tier1_policy=tier1_policy,
         tier2_policy=tier2_policy,
         governor=governor,
+        engine=engine,
     )
     return server.run(solo_baselines=solo_baselines)
 
@@ -130,6 +152,7 @@ __all__ = [
     "ConformanceError",
     "DEFAULT_SCALE",
     "DragonRuntime",
+    "ENGINE_NAMES",
     "EVICTION_POLICY_NAMES",
     "EXPERIMENTS",
     "Engine",
@@ -157,10 +180,12 @@ __all__ = [
     "default_config",
     "get_spec",
     "make_eviction_policy",
+    "make_runtime",
     "profile",
     "profile_replay",
     "read_ledger",
     "record_run",
+    "resolve_engine",
     "run_cells",
     "run_conformance",
     "run_experiment",

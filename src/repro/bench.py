@@ -60,6 +60,25 @@ def _zoo_cells() -> tuple[tuple[str, str, str], ...]:
 #: policies are tuned.
 ZOO_CELLS: tuple[tuple[str, str, str], ...] = _zoo_cells()
 
+#: Per-engine throughput cells: each spec is replayed once per engine and
+#: recorded as ``<id>@<engine>`` with ``informational: true`` — presence
+#: is gated (the cells must still run), the metrics are not (wall-clock
+#: throughput is machine-dependent).  ``kvhot`` is the hit-dominated
+#: regime the vector engine exists for: a zipf-served KV store whose hot
+#: set is Tier-1 resident, so the stream is long runs of Tier-1 hits.
+#: ``hotspot`` is the opposite (a thrashing, miss-dominated stream) and
+#: documents the vector engine's bounded worst case.
+ENGINE_CELLS: tuple[dict, ...] = (
+    {"id": "hotspot/reuse", "app": "hotspot", "kind": "reuse"},
+    {
+        "id": "kvhot/reuse",
+        "app": "keyvalue",
+        "kind": "reuse",
+        "oversubscription": 0.15,
+        "workload_kwargs": {"lookups": 200_000},
+    },
+)
+
 #: Deterministic per-cell metrics captured from the replay.  Checked
 #: with the strict tolerance.
 SIM_METRICS = (
@@ -71,7 +90,7 @@ SIM_METRICS = (
     "ssd_page_writes",
 )
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 
 def run_cell(
@@ -81,11 +100,18 @@ def run_cell(
     seed: int,
     tier1_policy: str | None = None,
     tier2_policy: str | None = None,
+    engine: str | None = None,
+    oversubscription: float | None = None,
+    workload_kwargs: dict | None = None,
 ) -> dict:
     """Replay one cell and return its metric record (wall_s last).
 
     ``tier1_policy`` / ``tier2_policy`` substitute a policy-zoo eviction
     policy at the respective tier (see ``EVICTION_POLICY_NAMES``).
+    ``engine`` picks the replay engine (``ENGINE_NAMES``; default scalar
+    via the harness).  For vector replays the workload's flat trace is
+    materialized *before* the clock starts, so ``accesses_per_sec``
+    measures replay throughput, not trace generation.
 
     Every replay ends with the full conformance audit
     (:func:`repro.check.identities.assert_conformant`): a baseline
@@ -104,14 +130,24 @@ def run_cell(
             tier1_eviction=tier1_policy or config.tier1_eviction,
             tier2_eviction=tier2_policy or config.tier2_eviction,
         )
-    workload = get_workload(app, config, seed=seed)
-    runtime = build_runtime(kind, config)
+    if oversubscription is None:
+        workload = get_workload(app, config, seed=seed, **(workload_kwargs or {}))
+    else:
+        workload = get_workload(
+            app, config, oversubscription, seed=seed, **(workload_kwargs or {})
+        )
+    runtime = build_runtime(kind, config, engine=engine)
+    if runtime.engine_name == "vector":
+        from repro.core.vector import materialize_trace
+
+        materialize_trace(workload)
     start = _clock()
     result = runtime.run(workload)
     wall_s = _clock() - start
     assert_conformant(runtime)
     accesses = result.stats.coalesced_accesses
     record = {
+        "engine": runtime.engine_name,
         "elapsed_ns": float(result.elapsed_ns),
         "ssd_io_bytes": float(result.ssd_io_bytes),
         "t1_hits": float(result.stats.t1_hits),
@@ -131,12 +167,23 @@ def run_bench(
     scale: int = 4096,
     seed: int = 0,
     zoo: tuple[tuple[str, str, str], ...] = (),
+    engine_cells: tuple[dict, ...] = (),
+    engine: str | None = None,
 ) -> dict:
     """Replay every cell; returns the baseline document (JSON-ready).
 
     ``zoo`` entries are ``(app, kind, policy)`` triples replayed with the
     policy substituted at both tiers and recorded as informational cells
     (the CLI passes :data:`ZOO_CELLS`).
+
+    ``engine_cells`` specs (the CLI passes :data:`ENGINE_CELLS`) are each
+    replayed once per replay engine and recorded as ``<id>@scalar`` /
+    ``<id>@vector`` informational cells, so the baseline documents both
+    engines' ``accesses_per_sec`` side by side.
+
+    ``engine`` overrides the replay engine of the *gated* cells (default
+    scalar, the reference loop — keeps the wall budgets comparable
+    across baselines).
     """
     doc = {
         "version": BASELINE_VERSION,
@@ -145,13 +192,29 @@ def run_bench(
         "cells": {},
     }
     for app, kind in cells:
-        doc["cells"][f"{app}/{kind}"] = run_cell(app, kind, scale, seed)
+        doc["cells"][f"{app}/{kind}"] = run_cell(
+            app, kind, scale, seed, engine=engine or "scalar"
+        )
     for app, kind, pol in zoo:
         record = run_cell(
-            app, kind, scale, seed, tier1_policy=pol, tier2_policy=pol
+            app, kind, scale, seed, tier1_policy=pol, tier2_policy=pol,
+            engine=engine or "scalar",
         )
         record["informational"] = True
         doc["cells"][f"{app}/{kind}+{pol}"] = record
+    for spec in engine_cells:
+        for eng in ("scalar", "vector"):
+            record = run_cell(
+                spec["app"],
+                spec["kind"],
+                scale,
+                seed,
+                engine=eng,
+                oversubscription=spec.get("oversubscription"),
+                workload_kwargs=spec.get("workload_kwargs"),
+            )
+            record["informational"] = True
+            doc["cells"][f"{spec['id']}@{eng}"] = record
     return doc
 
 
@@ -277,6 +340,25 @@ def main(argv: list[str] | None = None) -> int:
         help="do not append this run to the run ledger "
         "(benchmarks/results/ledger.jsonl or $GMT_LEDGER_PATH)",
     )
+    from repro.core.config import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_NAMES),
+        help="replay engine for the gated cells (default: scalar, the "
+        "reference loop; the per-engine @scalar/@vector cells always "
+        "run both)",
+    )
+    parser.add_argument(
+        "--assert-vector-speedup",
+        type=float,
+        metavar="FACTOR",
+        default=None,
+        help="exit 1 unless the vector engine reaches FACTOR x the "
+        "scalar accesses/sec on the kvhot hit-dominated cell "
+        "(CI smoke: 5; the recorded baselines show 10x+)",
+    )
     args = parser.parse_args(argv)
 
     if args.trend:
@@ -286,6 +368,11 @@ def main(argv: list[str] | None = None) -> int:
             "cells": sorted(
                 [f"{app}/{kind}" for app, kind in DEFAULT_CELLS]
                 + [f"{app}/{kind}+{pol}" for app, kind, pol in ZOO_CELLS]
+                + [
+                    f"{spec['id']}@{eng}"
+                    for spec in ENGINE_CELLS
+                    for eng in ("scalar", "vector")
+                ]
             ),
             "scale": args.scale,
             "seed": args.seed,
@@ -307,14 +394,37 @@ def main(argv: list[str] | None = None) -> int:
         print("PASS: no sustained drift on the ledger")
         return 0
 
-    doc = run_bench(scale=args.scale, seed=args.seed, zoo=ZOO_CELLS)
+    doc = run_bench(
+        scale=args.scale,
+        seed=args.seed,
+        zoo=ZOO_CELLS,
+        engine_cells=ENGINE_CELLS,
+        engine=args.engine,
+    )
     width = max(len(cell) for cell in doc["cells"])
     for cell, record in doc["cells"].items():
         tag = "  [informational]" if record.get("informational") else ""
         print(
             f"{cell:>{width}}: elapsed {record['elapsed_ns'] / 1e6:10.2f} ms (simulated), "
-            f"wall {record['wall_s'] * 1e3:8.1f} ms{tag}"
+            f"wall {record['wall_s'] * 1e3:8.1f} ms, "
+            f"{record['accesses_per_sec'] / 1e3:8.1f} kacc/s{tag}"
         )
+
+    if args.assert_vector_speedup is not None:
+        cells = doc["cells"]
+        scalar_aps = cells["kvhot/reuse@scalar"]["accesses_per_sec"]
+        vector_aps = cells["kvhot/reuse@vector"]["accesses_per_sec"]
+        speedup = vector_aps / scalar_aps if scalar_aps > 0 else 0.0
+        print(
+            f"vector-vs-scalar on kvhot/reuse: {speedup:.1f}x "
+            f"({vector_aps / 1e3:.0f} vs {scalar_aps / 1e3:.0f} kacc/s)"
+        )
+        if speedup < args.assert_vector_speedup:
+            print(
+                f"FAIL: vector speedup {speedup:.1f}x below required "
+                f"{args.assert_vector_speedup:g}x"
+            )
+            return 1
 
     if args.check:
         try:
@@ -356,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
         record_run(
             "gmt-bench",
             wall_s=wall_s,
+            engine=args.engine or "scalar",
             params={"cells": sorted(cells), "scale": args.scale, "seed": args.seed},
             accesses_per_sec=accesses / wall_s if wall_s > 0 else 0.0,
             metrics={

@@ -87,6 +87,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution-time model; 'queueing' adds the link-conservation "
         "identities (default: bottleneck)",
     )
+    from repro.core.config import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default=None,
+        help="replay engine for the audited replays (default: scalar, "
+        "the reference loop; 'vector' audits the batch engine's "
+        "structures — required by --inject vector-desync)",
+    )
+    parser.add_argument(
+        "--no-engines",
+        action="store_true",
+        help="skip the scalar-vs-vector engine differential",
+    )
     parser.add_argument(
         "--no-metamorphic",
         action="store_true",
@@ -155,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
             inject=args.inject,
             tier1_policy=args.tier1_policy,
             tier2_policy=args.tier2_policy,
+            engine=args.engine,
+            engines=not args.no_engines,
         )
     except GMTError as exc:
         print(f"gmt-check: {exc}", file=sys.stderr)

@@ -7,6 +7,10 @@ the cross-runtime and metamorphic checks:
 
 - **cross-runtime-trace** — all runtimes must observe the identical
   coalesced access stream (policies decide placement, never the trace);
+- **scalar-vs-vector** — every runtime kind replayed through both replay
+  engines (the scalar reference loop and the SoA batch engine,
+  :mod:`repro.core.vector`) must be counter-identical byte for byte,
+  including the modelled ``elapsed_ns``;
 - **metamorphic-degenerate-bam** — GMT with ``tier2_frames=0`` and the
   tier-order policy must be counter-identical to the BaM baseline;
 - **metamorphic-determinism** — a second replay from the same seed must
@@ -81,6 +85,28 @@ def _inject_lost_writeback(runtime: GMTRuntime) -> str:
     return "one ssd_page_write erased"
 
 
+def _inject_vector_desync(runtime: GMTRuntime) -> str:
+    """Corrupt the vector engine's SoA tier column for a Tier-1 resident
+    page (the exact failure mode a buggy batch path would produce: the
+    dense arrays and the tier structures disagreeing about a page)."""
+    from repro.core.vector import VectorEngineMixin
+    from repro.mem.page import PageLocation
+
+    if not isinstance(runtime, VectorEngineMixin):
+        raise ConfigError(
+            "vector-desync corrupts the SoA page store; run with "
+            "--engine vector"
+        )
+    page = next(iter(runtime.tier1), None)
+    if page is None:
+        raise ConfigError(
+            "vector-desync needs a Tier-1 resident page; use a trace "
+            "that leaves Tier-1 populated"
+        )
+    runtime._vstore.loc[page] = PageLocation.TIER2.value
+    return f"store.loc[{page}] rewritten to TIER2 while Tier-1 resident"
+
+
 def _inject_ghost_leak(runtime: GMTRuntime) -> str:
     """Overflow an S3-FIFO ghost queue past its bound (history-structure
     leak — the kind of bug an unbounded dict would hide forever)."""
@@ -119,6 +145,7 @@ INJECTIONS = {
     "stats-drift": _inject_stats_drift,
     "lost-writeback": _inject_lost_writeback,
     "ghost-leak": _inject_ghost_leak,
+    "vector-desync": _inject_vector_desync,
 }
 
 
@@ -192,8 +219,9 @@ class CheckReport:
 # ----------------------------------------------------------------------
 # the differential harness
 # ----------------------------------------------------------------------
-def _audited_replay(kind: str, config: GMTConfig, workload, check_every):
-    runtime = build_runtime(kind, config)
+def _audited_replay(kind: str, config: GMTConfig, workload, check_every,
+                    engine: str | None = None):
+    runtime = build_runtime(kind, config, engine=engine)
     if check_every is not None:
         runtime.enable_periodic_checks(check_every)
     result = runtime.run(workload)
@@ -214,6 +242,8 @@ def run_conformance(
     inject: str | None = None,
     tier1_policy: str | None = None,
     tier2_policy: str | None = None,
+    engine: str | None = None,
+    engines: bool = True,
 ) -> CheckReport:
     """Replay ``app`` through ``runtimes`` and audit everything.
 
@@ -240,6 +270,14 @@ def run_conformance(
             matrix (None keeps the defaults).  All identities — and the
             metamorphic checks, including degenerate-BaM — must hold for
             every zoo member.
+        engine: replay engine for the audited replays (``ENGINE_NAMES``;
+            None = scalar, the reference loop — pass ``"vector"`` to
+            audit the batch engine's structures directly, which the
+            ``vector-desync`` injection requires).
+        engines: run the ``scalar-vs-vector`` differential — every
+            runtime kind replayed through both engines must be
+            counter-identical, byte for byte, including the modelled
+            ``elapsed_ns``.
 
     Periodic checking is disabled for the metamorphic re-runs (the first
     pass already audited the trace; the re-runs only compare outcomes).
@@ -279,10 +317,16 @@ def run_conformance(
             raise ConfigError("dup-resident needs a 3-tier runtime in --runtimes")
         inject_target = (three_tier or list(runtimes))[0]
 
+    # The audited replays default to the scalar reference loop; an
+    # explicit engine request audits that engine's structures instead.
+    replay_engine = engine if engine is not None else "scalar"
+
     report.checks_run.append("per-runtime-audit")
     results = {}
     for kind in runtimes:
-        runtime, result = _audited_replay(kind, config, workload, check_every)
+        runtime, result = _audited_replay(
+            kind, config, workload, check_every, replay_engine
+        )
         if kind == inject_target:
             report.injected = f"{inject} into {RUNTIME_LABELS[kind]}: " + (
                 INJECTIONS[inject](runtime)
@@ -318,6 +362,26 @@ def run_conformance(
                         )
                     ],
                 )
+
+    # -- scalar vs vector: the engines must be byte-identical ------------
+    if engines:
+        report.checks_run.append("scalar-vs-vector")
+        for kind in runtimes:
+            if replay_engine == "scalar":
+                left = results[kind]
+            else:
+                left = build_runtime(kind, config, engine="scalar").run(workload)
+            right = build_runtime(kind, config, engine="vector").run(workload)
+            report.add(
+                "scalar-vs-vector",
+                _diff_counters(
+                    "scalar-vs-vector",
+                    left,
+                    right,
+                    f"{RUNTIME_LABELS[kind]}@scalar",
+                    f"{RUNTIME_LABELS[kind]}@vector",
+                ),
+            )
 
     if metamorphic:
         report.checks_run.append("metamorphic-degenerate-bam")

@@ -115,6 +115,9 @@ CATALOG: tuple[tuple[str, str], ...] = (
     ("metamorphic-solo-serve",
      "a 1-tenant serve run reproduces the single-stream replay's "
      "counters and elapsed time exactly"),
+    ("scalar-vs-vector",
+     "the vectorized replay engine produces byte-identical counters and "
+     "elapsed time to the scalar runtime on every trace"),
 )
 
 CATALOG_NAMES = tuple(name for name, _ in CATALOG)

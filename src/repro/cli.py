@@ -64,6 +64,20 @@ def _common_parser(prog: str, description: str) -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    from repro.core.config import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_NAMES),
+        help="replay engine: 'scalar' (reference loop), 'vector' "
+        "(byte-identical struct-of-arrays batch engine), or 'auto' "
+        "(vector whenever no per-access instrumentation is attached). "
+        "Default: the config's engine ('auto')",
+    )
+
+
 def _add_check_every(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--check-every",
@@ -178,6 +192,7 @@ def main_sim(argv: list[str] | None = None) -> int:
         "them to PATH as JSONL (one file, 'kind' key tells runtimes "
         "apart; feed back via gmt-why --from)",
     )
+    _add_engine(parser)
     _add_check_every(parser)
     _add_anomaly_flags(parser)
     args = parser.parse_args(argv)
@@ -192,10 +207,18 @@ def main_sim(argv: list[str] | None = None) -> int:
         or args.lifecycle_out is not None
         or args.anomaly_scan
     )
+    from repro.core.factory import resolve_engine
+
+    engine = resolve_engine(
+        args.engine,
+        config,
+        recorder=telemetry_on,
+        checks=args.check_every is not None,
+    )
     telemetries = []
     results = {}
     for kind in args.runtimes:
-        runtime = build_runtime(kind, config)
+        runtime = build_runtime(kind, config, engine=engine)
         if args.check_every is not None:
             runtime.enable_periodic_checks(args.check_every)
         if telemetry_on:
@@ -480,6 +503,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         help="do not append this run to the run ledger "
         "(benchmarks/results/ledger.jsonl or $GMT_LEDGER_PATH)",
     )
+    _add_engine(parser)
     _add_check_every(parser)
     _add_anomaly_flags(parser)
     args = parser.parse_args(argv)
@@ -516,6 +540,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         tier1_policy=args.tier1_policy,
         tier2_policy=args.tier2_policy,
         governor=governor,
+        engine=args.engine,
     )
     if args.check_every is not None:
         server.runtime.enable_periodic_checks(args.check_every)
@@ -567,6 +592,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         record_run(
             "gmt-serve",
             wall_s=wall_s,
+            engine=args.engine or "scalar",
             params={
                 "tenants": sorted(s.workload for s in specs),
                 "discipline": args.discipline,

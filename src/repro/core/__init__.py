@@ -10,7 +10,8 @@
   lookup / eviction pipeline of section 2.
 """
 
-from repro.core.config import GMTConfig
+from repro.core.config import ENGINE_NAMES, GMTConfig
+from repro.core.factory import make_runtime, resolve_engine
 from repro.core.placement import PlacementDecision, Tier3BiasHeuristic
 from repro.core.policies import (
     PlacementPolicy,
@@ -23,8 +24,11 @@ from repro.core.runtime import GMTRuntime, RunResult
 from repro.core.stats import RuntimeStats
 
 __all__ = [
+    "ENGINE_NAMES",
     "GMTConfig",
     "GMTRuntime",
+    "make_runtime",
+    "resolve_engine",
     "PlacementDecision",
     "PlacementPolicy",
     "RandomPolicy",

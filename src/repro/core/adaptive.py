@@ -137,6 +137,10 @@ class DuelingPolicy(PlacementPolicy):
         # of which policy ends up placing this page.
         self.policy_b.on_access(state, vtd)
 
+    @property
+    def hits_batchable(self) -> bool:
+        return self.policy_b.hits_batchable
+
     def on_tier1_fill(self, state: PageState, from_tier2: bool = False) -> None:
         self.policy_b.on_tier1_fill(state, from_tier2)
         placed_by = state.policy_state.pop(_SET_KEY, None)

@@ -30,6 +30,13 @@ _POLICY_NAMES = ("tier-order", "random", "reuse", "dueling")
 #: (``GMTConfig.policy``).  CLIs derive their choices from this.
 POLICY_NAMES = _POLICY_NAMES
 
+#: Replay-engine names (``GMTConfig.engine`` / every ``--engine`` flag).
+#: "scalar" is the reference per-access loop, "vector" the SoA batch
+#: engine (:mod:`repro.core.vector`), and "auto" resolves per run site:
+#: vector when nothing needs per-access observation (no flight recorder,
+#: no periodic checks, plain clock Tier-1), scalar otherwise.
+ENGINE_NAMES = ("scalar", "vector", "auto")
+
 
 @dataclass(frozen=True)
 class GMTConfig:
@@ -105,6 +112,11 @@ class GMTConfig:
     #: historical derivation: "clock" when the placement policy is
     #: GMT-TierOrder, plain "fifo" otherwise (paper section 2.2).
     tier2_eviction: str | None = None
+    #: Replay engine: "scalar" | "vector" | "auto" (see
+    #: :data:`ENGINE_NAMES` and :func:`repro.core.factory.make_runtime`).
+    #: Both engines produce byte-identical results; "auto" picks vector
+    #: whenever per-access instrumentation is off.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.tier1_frames <= 0:
@@ -138,6 +150,10 @@ class GMTConfig:
             raise ConfigError(
                 f"time_model must be 'bottleneck' or 'queueing', got "
                 f"{self.time_model!r}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
             )
         if self.reuse_predictor not in ("markov", "last"):
             raise ConfigError(

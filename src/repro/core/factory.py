@@ -1,0 +1,88 @@
+"""Engine selection: one place that turns a config into a runtime.
+
+Every tool (``gmt-sim``, ``gmt-serve``, ``gmt-bench``, ``gmt-check``, the
+experiment harness) routes runtime construction through
+:func:`make_runtime` instead of calling ``GMTRuntime(config)`` directly,
+so ``GMTConfig.engine`` / ``--engine`` behave identically everywhere:
+
+- ``"scalar"`` — the reference per-access Python loop;
+- ``"vector"`` — the struct-of-arrays batch engine
+  (:mod:`repro.core.vector`), byte-identical results, 10-50x faster on
+  hit-dominated streams;
+- ``"auto"`` — vector exactly when nothing needs per-access observation:
+  no flight recorder, no periodic conformance checks, and a plain clock
+  Tier-1 (the policy-zoo structures have no vector twin).  A vector
+  runtime that later gets instruments attached silently replays scalar
+  (see :meth:`~repro.core.vector.VectorEngineMixin._vector_ready`), so
+  "auto" is always safe — the resolution is a fast-path choice, never a
+  correctness one.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ENGINE_NAMES, GMTConfig
+from repro.core.runtime import GMTRuntime
+from repro.errors import ConfigError
+
+__all__ = ["ENGINE_NAMES", "make_runtime", "resolve_engine"]
+
+
+def resolve_engine(
+    engine: str | None,
+    config: GMTConfig,
+    *,
+    recorder: bool = False,
+    checks: bool = False,
+) -> str:
+    """Resolve an engine request to ``"scalar"`` or ``"vector"``.
+
+    Args:
+        engine: explicit request, or None to use ``config.engine``.
+        config: the run's configuration.
+        recorder: the caller will attach per-access instrumentation
+            (flight recorder / telemetry / event log / profiler).
+        checks: the caller will enable periodic conformance checks.
+    """
+    if engine is None:
+        engine = config.engine
+    if engine not in ENGINE_NAMES:
+        raise ConfigError(f"engine must be one of {ENGINE_NAMES}, got {engine!r}")
+    if engine != "auto":
+        return engine
+    if recorder or checks:
+        return "scalar"
+    if config.tier1_eviction != "clock":
+        return "scalar"
+    return "vector"
+
+
+def make_runtime(
+    config: GMTConfig,
+    *,
+    runtime_cls: type[GMTRuntime] = GMTRuntime,
+    engine: str | None = None,
+    recorder: bool = False,
+    checks: bool = False,
+    **kwargs,
+) -> GMTRuntime:
+    """Construct a runtime honouring the engine selection surface.
+
+    Args:
+        config: the run's configuration (``config.engine`` is the default
+            engine request).
+        runtime_cls: runtime class to instantiate — :class:`GMTRuntime`
+            or any subclass whose access path it inherits (the BaM / HMM /
+            Dragon baselines, the oracle's policy-factory runs).
+        engine: explicit ``"scalar"``/``"vector"``/``"auto"`` override of
+            ``config.engine``.
+        recorder / checks: see :func:`resolve_engine` — lets callers that
+            are about to attach instrumentation steer "auto" to scalar up
+            front instead of paying the vector engine's fallback.
+        **kwargs: forwarded to ``runtime_cls`` (e.g. ``policy_factory``).
+    """
+    resolved = resolve_engine(engine, config, recorder=recorder, checks=checks)
+    if resolved == "vector":
+        from repro.core.vector import vector_variant
+
+        runtime_cls = vector_variant(runtime_cls)
+    return runtime_cls(config, **kwargs)

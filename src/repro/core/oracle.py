@@ -27,7 +27,7 @@ from collections import defaultdict
 from repro.core.config import GMTConfig
 from repro.core.placement import PlacementDecision, Tier3BiasHeuristic
 from repro.core.policies import PlacementPlan, PlacementPolicy
-from repro.core.runtime import GMTRuntime, RunResult
+from repro.core.runtime import RunResult
 from repro.core.stats import RuntimeStats
 from repro.errors import TraceError
 from repro.mem.page import PageState
@@ -138,12 +138,19 @@ class OraclePolicy(PlacementPolicy):
         return PlacementPlan(decision=decision, predicted_class=actual)
 
 
-def run_with_oracle(config: GMTConfig, workload: Workload) -> RunResult:
+def run_with_oracle(
+    config: GMTConfig, workload: Workload, engine: str | None = None
+) -> RunResult:
     """Replay ``workload`` under oracle placement; returns the run result.
 
     The runtime is a stock :class:`GMTRuntime` — only the policy differs —
-    so results are directly comparable with the online policies.
+    so results are directly comparable with the online policies.  Engine
+    selection goes through :func:`repro.core.factory.make_runtime` like
+    every other replay (the oracle policy keeps the default silent
+    ``on_access``, so its hits batch).
     """
+    from repro.core.factory import make_runtime
+
     index = FutureReuseIndex(workload)
     model = fit_global_vtd_model(workload)
 
@@ -155,7 +162,7 @@ def run_with_oracle(config: GMTConfig, workload: Workload) -> RunResult:
     ) -> OraclePolicy:
         return OraclePolicy(cfg, stats, vts, index, model)
 
-    runtime = GMTRuntime(config, policy_factory=factory)
+    runtime = make_runtime(config, engine=engine, policy_factory=factory)
     runtime.name = "GMT-oracle"
     result = runtime.run(workload)
     result.runtime_name = "GMT-oracle"

@@ -72,6 +72,20 @@ class PlacementPolicy(abc.ABC):
     def on_access(self, state: PageState, vtd: int | None) -> None:
         """Observe one coalesced access (before hit/miss is serviced)."""
 
+    @property
+    def hits_batchable(self) -> bool:
+        """Whether Tier-1 hits may currently skip :meth:`on_access`.
+
+        The vectorized engine (:mod:`repro.core.vector`) retires runs of
+        hits without calling ``on_access`` per access, which is only
+        sound while the method is observationally a no-op.  The default
+        answers True exactly when the policy inherits the base no-op;
+        policies whose ``on_access`` does work override this (GMT-Reuse:
+        batchable once its sampling window closes).  May flip False->True
+        mid-run, never the reverse.
+        """
+        return type(self).on_access is PlacementPolicy.on_access
+
     def on_tier1_fill(self, state: PageState, from_tier2: bool = False) -> None:
         """A page was just installed in Tier-1 (demand fill).
 
@@ -179,6 +193,13 @@ class ReusePolicy(PlacementPolicy):
 
     def on_access(self, state: PageState, vtd: int | None) -> None:
         self.sampler.observe(state.page, vtd)
+
+    @property
+    def hits_batchable(self) -> bool:
+        # ``observe`` is a hard no-op once the sampling target is met; a
+        # telemetry sink only records inside the window, so "done" is the
+        # full batchability condition.
+        return self.sampler.sampling_done
 
     def on_tier1_fill(self, state: PageState, from_tier2: bool = False) -> None:
         """Resolve the page's previous eviction now that its actual

@@ -85,6 +85,10 @@ class GMTRuntime:
     """
 
     name = "GMT"
+    #: Replay engine identity ("scalar" here; the SoA batch engine,
+    #: :mod:`repro.core.vector`, overrides with "vector").  Distinct from
+    #: :attr:`engine`, which is the Tier-1<->Tier-2 *transfer* engine.
+    engine_name = "scalar"
     #: Who services faults — exported as a telemetry label; the
     #: CPU-orchestrated baselines override this with ``"host"``.
     orchestration = "gpu"

@@ -152,6 +152,7 @@ def _worker_init(
     telemetry_dir: str | None,
     telemetry_lifecycle: bool = False,
     check_every: int | None = None,
+    engine: str | None = None,
 ) -> None:
     if telemetry_dir:
         from repro.experiments.harness import set_telemetry_dir
@@ -161,6 +162,10 @@ def _worker_init(
         from repro.experiments.harness import set_check_every
 
         set_check_every(check_every)
+    if engine is not None:
+        from repro.experiments.harness import set_engine
+
+        set_engine(engine)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +322,10 @@ class Engine:
             periodic conformance audits (see
             ``repro.experiments.harness.set_check_every``) exactly like
             the serial path.
+        engine: forwarded to pool workers so uncached replays honour the
+            process-wide replay-engine request (see
+            ``repro.experiments.harness.set_engine``) exactly like the
+            serial path.
     """
 
     def __init__(
@@ -329,6 +338,7 @@ class Engine:
         telemetry_dir: str | None = None,
         telemetry_lifecycle: bool = False,
         check_every: int | None = None,
+        engine: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -340,6 +350,7 @@ class Engine:
         self.telemetry_dir = telemetry_dir
         self.telemetry_lifecycle = telemetry_lifecycle
         self.check_every = check_every
+        self.engine = engine
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -412,6 +423,7 @@ class Engine:
                         self.telemetry_dir,
                         self.telemetry_lifecycle,
                         self.check_every,
+                        self.engine,
                     ),
                 ) as pool:
                     yield from self._consume(pending, pool.map(execute_cell, pending))

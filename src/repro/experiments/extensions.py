@@ -31,7 +31,7 @@ from repro.experiments.harness import (
     replay,
     replay_on_trace,
 )
-from repro.experiments.spec import ExperimentSpec, compat_run, run_spec
+from repro.experiments.spec import ExperimentSpec, run_spec
 
 #: Apps with enough reuse for the oracle comparison to be interesting.
 ORACLE_APPS = ("multivectoradd", "srad", "backprop", "pagerank", "hotspot")
@@ -299,5 +299,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

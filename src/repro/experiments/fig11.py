@@ -16,7 +16,7 @@ from repro.experiments.harness import (
     default_config,
     replay,
 )
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads.registry import GRAPH_WORKLOADS, WORKLOAD_NAMES
 
 POLICIES = ("tier-order", "random", "reuse")
@@ -76,5 +76,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

@@ -17,7 +17,7 @@ from repro.experiments.harness import (
     default_config,
     replay_with_footprint,
 )
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads.registry import WORKLOAD_NAMES
 
 RATIOS = (2, 4, 8)
@@ -79,5 +79,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

@@ -20,7 +20,7 @@ from collections import defaultdict
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 
 APPS = ("multivectoradd", "pagerank")
 
@@ -182,5 +182,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.sim.transfer import (
     DmaEngine,
     TransferEngine,
@@ -164,5 +164,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

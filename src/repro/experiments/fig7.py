@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.reuse.classifier import ReuseClass
 from repro.workloads.registry import WORKLOAD_NAMES, workload_class
 
@@ -105,5 +105,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

@@ -15,7 +15,7 @@ from repro.experiments.harness import (
     default_config,
     replay,
 )
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.workloads.registry import WORKLOAD_NAMES
 
 
@@ -57,5 +57,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

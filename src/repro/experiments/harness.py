@@ -13,7 +13,8 @@ from dataclasses import dataclass, field, replace
 from repro.analysis.report import render_table
 from repro.baselines.bam import BamRuntime
 from repro.baselines.hmm import HmmRuntime
-from repro.core.config import DEFAULT_SCALE, GMTConfig, PAPER_OVERSUBSCRIPTION
+from repro.core.config import DEFAULT_SCALE, ENGINE_NAMES, GMTConfig, PAPER_OVERSUBSCRIPTION
+from repro.core.factory import make_runtime
 from repro.core.runtime import GMTRuntime, RunResult
 from repro.errors import ConfigError
 from repro.workloads.registry import WORKLOAD_NAMES, make_workload, normalize_name
@@ -46,6 +47,26 @@ _telemetry_lifecycle: bool = False
 #: When set (see :func:`set_check_every`), every *uncached* replay runs
 #: with periodic conformance checking enabled at this cadence.
 _check_every: int | None = None
+
+#: When set (see :func:`set_engine`), overrides every config's ``engine``
+#: for runtimes built through :func:`build_runtime` (the ``--engine``
+#: flag's process-wide plumbing, like :func:`set_check_every`).
+_engine_override: str | None = None
+
+
+def set_engine(engine: str | None) -> None:
+    """Force the replay engine for every subsequent :func:`build_runtime`
+    call (None restores per-config selection).  Both engines produce
+    byte-identical results — this steers performance only."""
+    global _engine_override
+    if engine is not None and engine not in ENGINE_NAMES:
+        raise ConfigError(f"engine must be one of {ENGINE_NAMES}, got {engine!r}")
+    _engine_override = engine
+
+
+def get_engine() -> str | None:
+    """The process-wide engine override (see :func:`set_engine`)."""
+    return _engine_override
 
 
 def set_check_every(every: int | None) -> None:
@@ -184,19 +205,42 @@ def default_config(scale: int = DEFAULT_SCALE, **overrides) -> GMTConfig:
     )
 
 
-def build_runtime(kind: str, config: GMTConfig) -> GMTRuntime:
-    """Instantiate one of the comparison runtimes over ``config``."""
+def build_runtime(
+    kind: str, config: GMTConfig, engine: str | None = None
+) -> GMTRuntime:
+    """Instantiate one of the comparison runtimes over ``config``.
+
+    The replay engine resolves ``engine`` (explicit argument) over
+    :func:`set_engine` (process-wide ``--engine`` plumbing) over
+    ``config.engine``; ``"auto"`` lands on scalar whenever the harness's
+    telemetry export or periodic checking is active, vector otherwise.
+    """
+    if engine is None:
+        engine = _engine_override
+    recorder = _telemetry_dir is not None
+    checks = _check_every is not None
     if kind == "bam":
-        return BamRuntime(config)
-    if kind == "hmm":
-        return HmmRuntime(config)
-    if kind == "dragon":
+        runtime_cls: type[GMTRuntime] = BamRuntime
+    elif kind == "hmm":
+        runtime_cls = HmmRuntime
+    elif kind == "dragon":
         from repro.baselines.dragon import DragonRuntime
 
-        return DragonRuntime(config)
-    if kind in ("tier-order", "random", "reuse"):
-        return GMTRuntime(config.with_policy(kind))
-    raise ConfigError(f"unknown runtime kind {kind!r}; expected one of {RUNTIME_KINDS}")
+        runtime_cls = DragonRuntime
+    elif kind in ("tier-order", "random", "reuse", "dueling"):
+        runtime_cls = GMTRuntime
+        config = config.with_policy(kind)
+    else:
+        raise ConfigError(
+            f"unknown runtime kind {kind!r}; expected one of {RUNTIME_KINDS}"
+        )
+    return make_runtime(
+        config,
+        runtime_cls=runtime_cls,
+        engine=engine,
+        recorder=recorder,
+        checks=checks,
+    )
 
 
 def get_workload(

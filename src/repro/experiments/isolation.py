@@ -26,7 +26,7 @@ from functools import lru_cache
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.units import format_time
 
 #: pair name -> ((tenant, workload, tier1_policy, tier2_policy), ...).
@@ -209,5 +209,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

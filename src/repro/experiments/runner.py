@@ -130,6 +130,17 @@ def main(argv: list[str] | None = None) -> int:
         "identities, see gmt-check) every N coalesced accesses on every "
         "uncached replay; a violation fails the experiment",
     )
+    from repro.core.config import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=list(ENGINE_NAMES),
+        help="replay engine for every uncached cell: 'scalar' (reference "
+        "loop), 'vector' (byte-identical batch engine), or 'auto' "
+        "(vector whenever telemetry/periodic checks are off). "
+        "Default: the config's engine ('auto')",
+    )
     parser.add_argument(
         "--no-ledger",
         action="store_true",
@@ -150,6 +161,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.harness import set_check_every
 
         set_check_every(args.check_every)
+    if args.engine is not None:
+        from repro.experiments.harness import set_engine
+
+        set_engine(args.engine)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     # Validate every name up-front so a typo fails before hours of work.
@@ -164,6 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_dir=args.telemetry_dir,
         telemetry_lifecycle=args.telemetry_lifecycle,
         check_every=args.check_every,
+        engine=args.engine,
     )
 
     failures: dict[str, Exception] = {}
@@ -201,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
                 "failures": len(failures),
                 "cells_executed": engine.stats.executed,
             },
+            engine=args.engine or "scalar",
         )
     if failures:
         summary = ", ".join(

@@ -20,7 +20,7 @@ from functools import lru_cache
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.units import format_time
 
 #: The served mix: a latency-sensitive graph traversal, an iterative
@@ -150,5 +150,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

@@ -10,14 +10,14 @@ An experiment is two pure functions around a set of cells:
   :class:`CellResults` indexed by the same :class:`Cell` objects, so the
   reduce step rebuilds cells through the very helpers that emitted them.
 
-Every experiment module exports ``SPEC`` and keeps a thin, deprecated
-``run(scale=...)`` shim (:func:`compat_run`) for the old ad-hoc
-convention.
+Every experiment module exports ``SPEC``; regenerate through
+:func:`run_spec`, :func:`repro.experiments.runner.run_experiment`, or the
+``gmt-experiments`` CLI.  (The PR-3-era ``run(scale=...)`` module shims
+are gone.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -80,22 +80,3 @@ def run_spec(
     cells = list(spec.cells(scale))
     values = engine.run_cells(cells, group=spec.name)
     return spec.reduce(CellResults(values), scale)
-
-
-def compat_run(spec: ExperimentSpec) -> Callable[..., list]:
-    """The deprecated ``run(scale=...)`` shim for one spec."""
-
-    def run(scale: int = DEFAULT_SCALE) -> list:
-        warnings.warn(
-            f"{spec.name}.run(scale=...) is deprecated; use "
-            f"repro.experiments.spec.run_spec({spec.name}.SPEC, scale=...) "
-            "or the gmt-experiments CLI",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return run_spec(spec, scale=scale)
-
-    run.__doc__ = (
-        f"Deprecated shim: regenerate {spec.name} serially via its SPEC."
-    )
-    return run

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.engine import Cell
 from repro.experiments.harness import ExperimentResult, default_config, get_workload
-from repro.experiments.spec import ExperimentSpec, compat_run
+from repro.experiments.spec import ExperimentSpec
 from repro.units import GiB
 from repro.workloads.registry import WORKLOAD_NAMES, workload_class
 
@@ -111,5 +111,3 @@ SPEC = ExperimentSpec(
     cells=_cells,
     reduce=_reduce,
 )
-
-run = compat_run(SPEC)

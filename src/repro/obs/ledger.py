@@ -70,8 +70,15 @@ def make_entry(
     metrics: dict | None = None,
     anomalies: int = 0,
     salt: str | None = None,
+    engine: str = "scalar",
 ) -> dict:
-    """Build one ledger entry (JSON-ready, not yet written)."""
+    """Build one ledger entry (JSON-ready, not yet written).
+
+    ``engine`` records which replay engine produced the run's wall-clock
+    numbers (``repro.core.ENGINE_NAMES`` minus ``"auto"``) — trend
+    analysis over mixed-engine histories would otherwise flag the
+    vector engine's speedup as a drift.
+    """
     if not tool:
         raise ConfigError("ledger entries need a tool name")
     if salt is None:
@@ -84,6 +91,7 @@ def make_entry(
         "tool": tool,
         "code_salt": salt,
         "config_hash": config_hash(params or {}),
+        "engine": engine,
         "wall_s": float(wall_s),
         "accesses_per_sec": (
             float(accesses_per_sec) if accesses_per_sec is not None else None
@@ -113,6 +121,7 @@ def record_run(
     metrics: dict | None = None,
     anomalies: int = 0,
     path: str | None = None,
+    engine: str = "scalar",
 ) -> dict:
     """Build and append one entry in one call; returns the entry."""
     entry = make_entry(
@@ -122,6 +131,7 @@ def record_run(
         accesses_per_sec=accesses_per_sec,
         metrics=metrics,
         anomalies=anomalies,
+        engine=engine,
     )
     append_entry(entry, path)
     return entry

@@ -33,6 +33,18 @@ class VirtualTimestampClock:
         self._now += 1
         return self._now
 
+    def advance(self, count: int) -> None:
+        """Advance virtual time by ``count`` coalesced accesses at once.
+
+        Used by the vectorized replay engine to retire a batch of hits:
+        ``advance(k)`` leaves the clock exactly where ``k`` calls to
+        :meth:`tick` would (per-page timestamps for the batch are stamped
+        separately, see :mod:`repro.core.vector`).
+        """
+        if count < 0:
+            raise ValueError(f"cannot advance virtual time by {count}")
+        self._now += count
+
     def observe_access(self, state: PageState) -> int | None:
         """Advance the clock for an access to ``state``'s page and return
         the access's VTD (``None`` on the page's first access).

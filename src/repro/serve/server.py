@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 from repro.analysis.metrics import jain_index
 from repro.analysis.report import render_table
 from repro.core.config import GMTConfig, PAPER_OVERSUBSCRIPTION
-from repro.core.runtime import GMTRuntime, RunResult
+from repro.core.runtime import RunResult
 from repro.core.stats import RuntimeStats
 from repro.errors import ConfigError, SimulationError
 from repro.serve.quota import QuotaConfig
@@ -264,6 +264,9 @@ class TenantServer:
             tier — the pre-zoo behaviour, byte-identical.
         governor: :class:`~repro.policyzoo.governor.GovernorConfig`
             enabling per-tenant migration admission control.
+        engine: replay-engine request (``repro.core.ENGINE_NAMES``) for
+            the *solo* baseline replays; the shared multiplexed runtime
+            always replays scalar.  Defaults to ``config.engine``.
     """
 
     def __init__(
@@ -276,6 +279,7 @@ class TenantServer:
         tier1_policy: str | None = None,
         tier2_policy: str | None = None,
         governor=None,
+        engine: str | None = None,
     ) -> None:
         if not streams:
             raise ConfigError("TenantServer needs at least one tenant stream")
@@ -297,6 +301,12 @@ class TenantServer:
         self.quota = quota or QuotaConfig()
         self._policy_factory = policy_factory
         self.governor = governor
+        # Engine request for the *solo* baseline replays.  The shared
+        # multiplexed runtime always replays scalar: per-tenant eviction
+        # structures, quotas and the governor observe every access, and
+        # namespaced page ids (tenant << 32) exceed the vector store's
+        # dense capacity anyway.
+        self.engine = engine
         # Per-tenant policy resolution: the tenant's spec wins, then the
         # server-wide default.  All-None at a tier keeps that tier's
         # single shared structure (exact pre-zoo replay).
@@ -461,6 +471,20 @@ class TenantServer:
         ).elapsed_ns
 
     def solo_run(self, stream: TenantStream) -> RunResult:
-        """Replay one tenant's stream alone on a fresh, unshared runtime."""
-        runtime = GMTRuntime(self.config, policy_factory=self._policy_factory)
+        """Replay one tenant's stream alone on a fresh, unshared runtime.
+
+        Engine selection honours :attr:`engine` (then ``config.engine``)
+        via :func:`repro.core.factory.make_runtime` — except for tenants
+        beyond index 0, whose namespaced page ids (``index << 32``) exceed
+        the vector store's dense page-id capacity and therefore always
+        replay scalar.
+        """
+        from repro.core.factory import make_runtime
+
+        engine = self.engine
+        if stream.index > 0:
+            engine = "scalar"
+        runtime = make_runtime(
+            self.config, engine=engine, policy_factory=self._policy_factory
+        )
         return runtime.run(iter(stream))

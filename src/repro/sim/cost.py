@@ -24,7 +24,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
+
+
+def sequential_float_sum(base: float, step: float, count: int) -> float:
+    """``base`` after ``count`` sequential ``+= step`` operations.
+
+    Bit-for-bit identical to the Python loop: ``np.add.accumulate`` is
+    defined as the sequential recurrence ``r[i] = r[i-1] + a[i]``, so its
+    last element carries the exact same intermediate roundings.  (Do NOT
+    substitute ``np.add.reduce``/``np.sum`` here — those use pairwise
+    summation, which rounds differently.)  The vectorized replay engine
+    relies on this to keep float accumulators byte-identical to the
+    scalar engine's.
+    """
+    if count <= 0:
+        return base
+    arr = np.empty(count + 1, dtype=np.float64)
+    arr[0] = base
+    arr[1:] = step
+    return float(np.add.accumulate(arr)[-1])
 
 
 @dataclass
@@ -91,6 +112,16 @@ class CostModel:
         if ns < 0:
             raise SimulationError(f"negative compute time: {ns}")
         self._compute_ns += ns
+
+    def add_compute_batch(self, ns: float, count: int) -> None:
+        """Charge ``count`` identical compute steps of ``ns`` each.
+
+        Equivalent — to the last bit — to ``count`` calls to
+        :meth:`add_compute` (see :func:`sequential_float_sum`).
+        """
+        if ns < 0:
+            raise SimulationError(f"negative compute time: {ns}")
+        self._compute_ns = sequential_float_sum(self._compute_ns, ns, count)
 
     def add_fault_latency(self, ns: float) -> None:
         """Add one fault's critical-path latency (lookup + fetch + ...)."""

@@ -152,6 +152,20 @@ class QueueingModel:
         """A Tier-1 hit: consumes issue bandwidth, stalls nothing."""
         self._advance_arrival()
 
+    def on_hits(self, count: int) -> None:
+        """Retire ``count`` consecutive Tier-1 hits at once.
+
+        Byte-identical to ``count`` calls to :meth:`on_hit`: the arrival
+        cursor advances through the same sequence of float roundings
+        (see :func:`repro.sim.cost.sequential_float_sum`), and hits touch
+        no other model state.
+        """
+        from repro.sim.cost import sequential_float_sum
+
+        self._arrival_ns = sequential_float_sum(
+            self._arrival_ns, self.platform.gpu_access_ns, count
+        )
+
     def on_miss(
         self,
         tier2_lookup: bool,

@@ -209,11 +209,11 @@ class TestSpecProtocol:
         with pytest.raises(ConfigError):
             results[Cell.make("m:f", x=1)]
 
-    def test_run_shim_warns_and_matches_run_spec(self):
-        with pytest.warns(DeprecationWarning, match="fig9.run"):
-            shimmed = fig9.run(scale=SCALE)
-        fresh = run_spec(fig9.SPEC, scale=SCALE, engine=Engine(memo={}))
-        assert [r.to_text() for r in shimmed] == [r.to_text() for r in fresh]
+    def test_legacy_run_shim_is_gone(self):
+        """The deprecated ``figN.run(scale=...)`` shims were removed; the
+        blessed entry points are run_spec / run_experiment / the CLI."""
+        assert not hasattr(fig9, "run")
+        assert not hasattr(fig9, "compat_run")
 
     def test_shared_cells_collapse_across_figures(self):
         """fig8/fig9 share the reuse replays — one engine runs them once."""

@@ -52,7 +52,9 @@ class TestModelValidation:
 
 class TestRunAll:
     def test_run_returns_all_studies(self):
-        results = extensions.run(scale=8192)
+        from repro.experiments.spec import run_spec
+
+        results = run_spec(extensions.SPEC, scale=8192)
         assert [r.name for r in results] == [
             "ext-oracle",
             "ext-ssd-scaling",

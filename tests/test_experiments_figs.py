@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import fig4, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, table2
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.spec import run_spec
 from repro.workloads.registry import WORKLOAD_NAMES
 
 SCALE = 4096
@@ -16,7 +17,7 @@ SCALE = 4096
 
 @pytest.fixture(scope="module")
 def fig8_results():
-    return fig8.run(scale=SCALE)
+    return run_spec(fig8.SPEC, scale=SCALE)
 
 
 class TestFig8:
@@ -46,25 +47,25 @@ class TestFig8:
 
 class TestFig9:
     def test_rows_and_accuracy_range(self):
-        (result,) = fig9.run(scale=SCALE)
+        (result,) = run_spec(fig9.SPEC, scale=SCALE)
         assert len(result.rows) == len(WORKLOAD_NAMES)
         for acc in result.extras["accuracies"].values():
             assert 0.0 <= acc <= 1.0
 
     def test_high_reuse_apps_have_history(self):
-        (result,) = fig9.run(scale=SCALE)
+        (result,) = run_spec(fig9.SPEC, scale=SCALE)
         accs = result.extras["accuracies"]
         assert accs["hotspot"] > 0.5
 
 
 class TestFig10:
     def test_panels(self):
-        a, b = fig10.run(scale=SCALE)
+        a, b = run_spec(fig10.SPEC, scale=SCALE)
         assert a.name == "fig10a" and b.name == "fig10b"
         assert len(a.rows) == len(WORKLOAD_NAMES)
 
     def test_wasteful_fractions_are_percentages(self):
-        a, _ = fig10.run(scale=SCALE)
+        a, _ = run_spec(fig10.SPEC, scale=SCALE)
         for row in a.rows:
             for value in row[1:]:
                 assert 0.0 <= value <= 100.0
@@ -72,7 +73,7 @@ class TestFig10:
 
 class TestFig11:
     def test_speedups_shrink_vs_fig8(self, fig8_results):
-        (result,) = fig11.run(scale=SCALE)
+        (result,) = run_spec(fig11.SPEC, scale=SCALE)
         fig8_mean = fig8_results[0].extras["means"]["reuse"]
         fig11_mean = result.extras["means"]["reuse"]
         assert fig11_mean < fig8_mean
@@ -81,7 +82,7 @@ class TestFig11:
 
 class TestFig12:
     def test_speedup_grows_with_ratio(self):
-        (result,) = fig12.run(scale=SCALE)
+        (result,) = run_spec(fig12.SPEC, scale=SCALE)
         series = result.extras["series"]
         from repro.analysis.metrics import arithmetic_mean
 
@@ -91,13 +92,13 @@ class TestFig12:
 
 class TestFig13:
     def test_non_graph_apps_only(self):
-        (result,) = fig13.run(scale=SCALE)
+        (result,) = run_spec(fig13.SPEC, scale=SCALE)
         apps = [row[0] for row in result.rows[:-1]]
         assert "PageRank" not in apps
         assert "LavaMD" in apps
 
     def test_reuse_still_ahead(self):
-        (result,) = fig13.run(scale=SCALE)
+        (result,) = run_spec(fig13.SPEC, scale=SCALE)
         means = result.extras["means"]
         assert means["reuse"] > 1.0
 
@@ -105,7 +106,7 @@ class TestFig13:
 class TestFig14:
     @pytest.fixture(scope="class")
     def result(self):
-        (res,) = fig14.run(scale=SCALE)
+        (res,) = run_spec(fig14.SPEC, scale=SCALE)
         return res
 
     def test_bam_beats_hmm(self, result):
@@ -120,11 +121,11 @@ class TestFig14:
 
 class TestTable2:
     def test_rows(self):
-        (result,) = table2.run(scale=SCALE)
+        (result,) = run_spec(table2.SPEC, scale=SCALE)
         assert len(result.rows) == 9
 
     def test_reuse_spectrum(self):
-        (result,) = table2.run(scale=SCALE)
+        (result,) = run_spec(table2.SPEC, scale=SCALE)
         measured = result.extras["measured"]
         assert measured["lavamd"]["reuse_percent"] < 10
         assert measured["backprop"]["reuse_percent"] > 80
@@ -132,7 +133,7 @@ class TestTable2:
 
 class TestFig7:
     def test_fractions_sum(self):
-        (result,) = fig7.run(scale=SCALE)
+        (result,) = run_spec(fig7.SPEC, scale=SCALE)
         for row in result.rows:
             acc = row[2] + row[3] + row[4]
             assert acc == pytest.approx(100.0, abs=0.5)
@@ -140,12 +141,12 @@ class TestFig7:
 
 class TestFig4:
     def test_linear_correlation(self):
-        a, bc = fig4.run(scale=SCALE)
+        a, bc = run_spec(fig4.SPEC, scale=SCALE)
         for r in a.extras["correlations"].values():
             assert r > 0.9
 
     def test_patterns(self):
-        _, bc = fig4.run(scale=SCALE)
+        _, bc = run_spec(fig4.SPEC, scale=SCALE)
         fr = bc.extras["series_fractions"]
         assert fr["multivectoradd"]["constant"] > 0.3
         assert fr["pagerank"]["alternating"] > 0.3
@@ -153,11 +154,11 @@ class TestFig4:
 
 class TestFig6:
     def test_crossover_near_eight(self):
-        a, b = fig6.run(scale=SCALE)
+        a, b = run_spec(fig6.SPEC, scale=SCALE)
         assert 6 <= a.extras["crossover"] <= 10
 
     def test_hybrid32_close_to_best(self):
-        _, b = fig6.run(scale=SCALE)
+        _, b = run_spec(fig6.SPEC, scale=SCALE)
         series = b.extras["series"]
         best = [
             max(series[name][i] for name in series)

@@ -166,12 +166,17 @@ class TestTrendReport:
 
 class TestBenchTrendCLI:
     def bench_params(self, scale=4096, seed=0):
-        from repro.bench import DEFAULT_CELLS, ZOO_CELLS
+        from repro.bench import DEFAULT_CELLS, ENGINE_CELLS, ZOO_CELLS
 
         return {
             "cells": sorted(
                 [f"{app}/{kind}" for app, kind in DEFAULT_CELLS]
                 + [f"{app}/{kind}+{pol}" for app, kind, pol in ZOO_CELLS]
+                + [
+                    f"{spec['id']}@{eng}"
+                    for spec in ENGINE_CELLS
+                    for eng in ("scalar", "vector")
+                ]
             ),
             "scale": scale,
             "seed": seed,
