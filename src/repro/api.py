@@ -17,11 +17,14 @@ be reshaped without notice; prefer these re-exports over deep imports.
   :class:`DragonRuntime`, :class:`RuntimeConfig` (alias of
   :class:`GMTConfig`), :class:`RunResult`, :class:`RuntimeStats`.
 - Engine selection: :func:`make_runtime` (the one constructor every tool
-  routes through), :func:`resolve_engine`, :data:`ENGINE_NAMES` —
+  routes through), :func:`resolve_engine` /
+  :func:`resolve_engine_reason`, :data:`ENGINE_NAMES` —
   ``"scalar"`` is the reference per-access loop, ``"vector"`` the
   byte-identical struct-of-arrays batch engine, ``"auto"`` picks vector
-  whenever nothing needs per-access observation (see
-  ``docs/performance.md``).
+  unless something genuinely needs per-access observation
+  (batch-capable telemetry does not demote; pass ``telemetry=True``).
+  ``runtime.engine_resolution()`` reports the live ``(engine, reason)``
+  pair after a run (see ``docs/performance.md``).
 - Experiments: :class:`ExperimentSpec`, :func:`run_spec`,
   :func:`run_experiment`, :data:`EXPERIMENTS`, :class:`ExperimentResult`.
 - Engine: :class:`Cell`, :class:`Engine`, :class:`ResultCache`,
@@ -64,6 +67,7 @@ from repro.core import (
     RuntimeStats,
     make_runtime,
     resolve_engine,
+    resolve_engine_reason,
 )
 from repro.core.config import DEFAULT_SCALE
 from repro.experiments.engine import Cell, Engine, EngineStats, ResultCache, run_cells
@@ -186,6 +190,7 @@ __all__ = [
     "read_ledger",
     "record_run",
     "resolve_engine",
+    "resolve_engine_reason",
     "run_cells",
     "run_conformance",
     "run_experiment",

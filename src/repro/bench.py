@@ -77,6 +77,21 @@ ENGINE_CELLS: tuple[dict, ...] = (
         "oversubscription": 0.15,
         "workload_kwargs": {"lookups": 200_000},
     },
+    # The same hit-dominated regime with windowed telemetry (snapshots,
+    # latency digest, counter tracks) attached: the batch observer
+    # pipeline (repro.obs.batch) keeps the vector engine on its bulk hit
+    # path, so instrumented runs must stay an order of magnitude faster
+    # than scalar (--assert-vector-telemetry-speedup gates it in CI).
+    # The longer trace amortises the GMT-Reuse sampling warmup, which
+    # replays scalar on both engines.
+    {
+        "id": "kvhot/reuse+obs",
+        "app": "keyvalue",
+        "kind": "reuse",
+        "oversubscription": 0.15,
+        "workload_kwargs": {"lookups": 600_000},
+        "telemetry": True,
+    },
 )
 
 #: Deterministic per-cell metrics captured from the replay.  Checked
@@ -103,6 +118,7 @@ def run_cell(
     engine: str | None = None,
     oversubscription: float | None = None,
     workload_kwargs: dict | None = None,
+    telemetry: bool = False,
 ) -> dict:
     """Replay one cell and return its metric record (wall_s last).
 
@@ -111,7 +127,11 @@ def run_cell(
     ``engine`` picks the replay engine (``ENGINE_NAMES``; default scalar
     via the harness).  For vector replays the workload's flat trace is
     materialized *before* the clock starts, so ``accesses_per_sec``
-    measures replay throughput, not trace generation.
+    measures replay throughput, not trace generation.  With ``telemetry``
+    a windowed :class:`~repro.obs.Telemetry` (snapshots + latency digest)
+    is attached before the clock starts, so the cell measures
+    *instrumented* replay throughput; the record then carries the live
+    ``engine_reason`` alongside the resolved engine.
 
     Every replay ends with the full conformance audit
     (:func:`repro.check.identities.assert_conformant`): a baseline
@@ -137,6 +157,10 @@ def run_cell(
             app, config, oversubscription, seed=seed, **(workload_kwargs or {})
         )
     runtime = build_runtime(kind, config, engine=engine)
+    if telemetry:
+        from repro.obs import Telemetry
+
+        runtime.attach_telemetry(Telemetry())
     if runtime.engine_name == "vector":
         from repro.core.vector import materialize_trace
 
@@ -146,8 +170,10 @@ def run_cell(
     wall_s = _clock() - start
     assert_conformant(runtime)
     accesses = result.stats.coalesced_accesses
+    resolved_engine, engine_reason = runtime.engine_resolution()
     record = {
-        "engine": runtime.engine_name,
+        "engine": resolved_engine,
+        **({"engine_reason": engine_reason} if telemetry else {}),
         "elapsed_ns": float(result.elapsed_ns),
         "ssd_io_bytes": float(result.ssd_io_bytes),
         "t1_hits": float(result.stats.t1_hits),
@@ -212,6 +238,7 @@ def run_bench(
                 engine=eng,
                 oversubscription=spec.get("oversubscription"),
                 workload_kwargs=spec.get("workload_kwargs"),
+                telemetry=spec.get("telemetry", False),
             )
             record["informational"] = True
             doc["cells"][f"{spec['id']}@{eng}"] = record
@@ -359,6 +386,15 @@ def main(argv: list[str] | None = None) -> int:
         "scalar accesses/sec on the kvhot hit-dominated cell "
         "(CI smoke: 5; the recorded baselines show 10x+)",
     )
+    parser.add_argument(
+        "--assert-vector-telemetry-speedup",
+        type=float,
+        metavar="FACTOR",
+        default=None,
+        help="exit 1 unless the vector engine reaches FACTOR x the "
+        "scalar accesses/sec on the kvhot cell with windowed telemetry "
+        "attached (the batch observer pipeline; CI smoke: 10)",
+    )
     args = parser.parse_args(argv)
 
     if args.trend:
@@ -423,6 +459,24 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"FAIL: vector speedup {speedup:.1f}x below required "
                 f"{args.assert_vector_speedup:g}x"
+            )
+            return 1
+
+    if args.assert_vector_telemetry_speedup is not None:
+        cells = doc["cells"]
+        scalar_aps = cells["kvhot/reuse+obs@scalar"]["accesses_per_sec"]
+        vector_aps = cells["kvhot/reuse+obs@vector"]["accesses_per_sec"]
+        speedup = vector_aps / scalar_aps if scalar_aps > 0 else 0.0
+        print(
+            f"vector-vs-scalar with telemetry on kvhot/reuse+obs: "
+            f"{speedup:.1f}x ({vector_aps / 1e3:.0f} vs "
+            f"{scalar_aps / 1e3:.0f} kacc/s, vector engine: "
+            f"{cells['kvhot/reuse+obs@vector'].get('engine_reason', '-')})"
+        )
+        if speedup < args.assert_vector_telemetry_speedup:
+            print(
+                f"FAIL: instrumented vector speedup {speedup:.1f}x below "
+                f"required {args.assert_vector_telemetry_speedup:g}x"
             )
             return 1
 

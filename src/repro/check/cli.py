@@ -103,6 +103,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the scalar-vs-vector engine differential",
     )
     parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip the telemetry-parity differential (instrumented "
+        "scalar-vs-vector: window streams, digest buckets, counter "
+        "tracks and anomaly findings must be byte-equal)",
+    )
+    parser.add_argument(
+        "--telemetry-window",
+        type=int,
+        metavar="N",
+        default=1_997,
+        help="snapshot interval for the telemetry-parity replays "
+        "(default 1997 — a prime, so vector batches straddle window "
+        "boundaries)",
+    )
+    parser.add_argument(
         "--no-metamorphic",
         action="store_true",
         help="skip the degenerate-BaM and determinism checks",
@@ -172,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
             tier2_policy=args.tier2_policy,
             engine=args.engine,
             engines=not args.no_engines,
+            telemetry=not args.no_telemetry,
+            telemetry_window=args.telemetry_window,
         )
     except GMTError as exc:
         print(f"gmt-check: {exc}", file=sys.stderr)

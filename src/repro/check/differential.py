@@ -11,6 +11,11 @@ the cross-runtime and metamorphic checks:
   engines (the scalar reference loop and the SoA batch engine,
   :mod:`repro.core.vector`) must be counter-identical byte for byte,
   including the modelled ``elapsed_ns``;
+- **telemetry-parity** — every runtime kind replayed through both
+  engines *with windowed telemetry attached* must produce byte-equal
+  windowed-snapshot streams, latency-digest buckets, Perfetto counter
+  tracks and anomaly findings (the batch observer pipeline of
+  :mod:`repro.obs.batch` under audit);
 - **metamorphic-degenerate-bam** — GMT with ``tier2_frames=0`` and the
   tier-order policy must be counter-identical to the BaM baseline;
 - **metamorphic-determinism** — a second replay from the same seed must
@@ -140,12 +145,28 @@ def _inject_ghost_leak(runtime: GMTRuntime) -> str:
     )
 
 
+def _inject_window_desync(telemetry) -> str:
+    """Shift the vector replay's windowed-snapshot baseline (the exact
+    corruption a buggy batch-splitting path would produce: batches
+    retired across a window boundary without cutting the snapshot).
+
+    Unlike the other injections this perturbs *telemetry* rather than a
+    runtime, so :func:`run_conformance` applies it inside the
+    telemetry-parity check — on the vector side only, between attach and
+    replay — instead of after a replay."""
+    snap = telemetry.snapshotter
+    shift = max(1, snap.interval // 4)
+    snap.rebaseline(snap._last_position + shift)
+    return f"vector snapshot baseline shifted by {shift} accesses"
+
+
 INJECTIONS = {
     "dup-resident": _inject_dup_resident,
     "stats-drift": _inject_stats_drift,
     "lost-writeback": _inject_lost_writeback,
     "ghost-leak": _inject_ghost_leak,
     "vector-desync": _inject_vector_desync,
+    "window-desync": _inject_window_desync,
 }
 
 
@@ -244,6 +265,8 @@ def run_conformance(
     tier2_policy: str | None = None,
     engine: str | None = None,
     engines: bool = True,
+    telemetry: bool = True,
+    telemetry_window: int = 1_997,
 ) -> CheckReport:
     """Replay ``app`` through ``runtimes`` and audit everything.
 
@@ -278,6 +301,15 @@ def run_conformance(
             runtime kind replayed through both engines must be
             counter-identical, byte for byte, including the modelled
             ``elapsed_ns``.
+        telemetry: run the ``telemetry-parity`` differential — every
+            runtime kind replayed through both engines with windowed
+            telemetry attached must produce byte-equal window streams,
+            latency-digest buckets, counter tracks and anomaly findings.
+            The ``window-desync`` injection perturbs the vector side of
+            this check and must be caught.
+        telemetry_window: snapshot interval for the telemetry-parity
+            replays (a prime by default, so vector hit batches straddle
+            window boundaries rather than aligning with them).
 
     Periodic checking is disabled for the metamorphic re-runs (the first
     pass already audited the trace; the re-runs only compare outcomes).
@@ -311,7 +343,17 @@ def run_conformance(
         tier1_policy=tier1_policy, tier2_policy=tier2_policy,
     )
     inject_target = None
-    if inject is not None:
+    desync_target = None
+    if inject == "window-desync":
+        # Telemetry injection: applied inside the telemetry-parity check
+        # (vector side, between attach and replay), not after a replay.
+        if not telemetry:
+            raise ConfigError(
+                "window-desync perturbs the telemetry-parity check; "
+                "don't disable it"
+            )
+        desync_target = runtimes[0]
+    elif inject is not None:
         three_tier = [k for k in runtimes if k != "bam"]
         if not three_tier and inject == "dup-resident":
             raise ConfigError("dup-resident needs a 3-tier runtime in --runtimes")
@@ -383,6 +425,23 @@ def run_conformance(
                 ),
             )
 
+    # -- telemetry parity: instrumented replays must agree byte for byte -
+    if telemetry:
+        report.checks_run.append("telemetry-parity")
+        for kind in runtimes:
+            violations, note = check_telemetry_parity(
+                kind,
+                config,
+                workload,
+                window=telemetry_window,
+                corrupt=_inject_window_desync if kind == desync_target else None,
+            )
+            report.add("telemetry-parity", violations)
+            if note is not None:
+                report.injected = (
+                    f"window-desync into {RUNTIME_LABELS[kind]}@vector: {note}"
+                )
+
     if metamorphic:
         report.checks_run.append("metamorphic-degenerate-bam")
         report.add("metamorphic", check_degenerate_bam(config, workload))
@@ -422,6 +481,89 @@ def _diff_counters(name: str, left, right, left_label: str, right_label: str):
             )
         )
     return violations
+
+
+def _first_divergence(left: list, right: list) -> str:
+    """Human-oriented pointer at the first differing element."""
+    if len(left) != len(right):
+        return f"{len(left)} vs {len(right)} entries"
+    for i, (lhs, rhs) in enumerate(zip(left, right)):
+        if lhs != rhs:
+            if isinstance(lhs, dict) and isinstance(rhs, dict):
+                keys = sorted(
+                    k
+                    for k in set(lhs) | set(rhs)
+                    if lhs.get(k) != rhs.get(k)
+                )
+                return f"entry {i} differs in {', '.join(map(str, keys))}"
+            return f"entry {i}: {lhs!r} vs {rhs!r}"
+    return "identical"  # pragma: no cover - callers check inequality first
+
+
+def check_telemetry_parity(
+    kind: str,
+    config: GMTConfig,
+    workload,
+    window: int = 1_997,
+    corrupt=None,
+) -> tuple[list[Violation], str | None]:
+    """Both engines, instrumented: every telemetry surface must agree.
+
+    Replays ``kind`` through the scalar and vector engines with a
+    :class:`~repro.obs.Telemetry` attached (snapshot interval
+    ``window``) and demands byte-equality of the windowed-snapshot
+    stream, the latency-digest buckets, the Perfetto counter tracks
+    derived from the windows, the anomaly-scan findings, and — as in
+    the plain engine differential — every stats counter plus the
+    modelled ``elapsed_ns``.
+
+    ``corrupt`` (the ``window-desync`` injection) is applied to the
+    *vector* side's telemetry between attach and replay; returns the
+    injection's description as the second element (None when not
+    injected).
+    """
+    from repro.obs import AnomalyDetector, Telemetry
+    from repro.obs.export import counter_track_events
+
+    label = RUNTIME_LABELS[kind]
+    note = None
+    runs: dict[str, tuple] = {}
+    for eng in ("scalar", "vector"):
+        runtime = build_runtime(kind, config, engine=eng)
+        telemetry = Telemetry(window=window)
+        runtime.attach_telemetry(telemetry)
+        if eng == "vector" and corrupt is not None:
+            note = corrupt(telemetry)
+        result = runtime.run(workload)
+        runs[eng] = (result, telemetry)
+    violations = _diff_counters(
+        "telemetry-parity",
+        runs["scalar"][0],
+        runs["vector"][0],
+        f"{label}@scalar",
+        f"{label}@vector",
+    )
+    ts, tv = runs["scalar"][1], runs["vector"][1]
+    ws, wv = ts.windows(), tv.windows()
+    detector = AnomalyDetector()
+    for surface, left, right in (
+        ("window stream", ws, wv),
+        ("latency-digest buckets", [ts.latency_digest.to_dict()],
+         [tv.latency_digest.to_dict()]),
+        ("counter tracks", counter_track_events(0, ws),
+         counter_track_events(0, wv)),
+        ("anomaly findings", [str(a) for a in detector.scan(ws)],
+         [str(a) for a in detector.scan(wv)]),
+    ):
+        if left != right:
+            violations.append(
+                Violation(
+                    "telemetry-parity",
+                    f"{label}: {surface} diverges between engines "
+                    f"({_first_divergence(left, right)})",
+                )
+            )
+    return violations, note
 
 
 def check_degenerate_bam(config: GMTConfig, workload) -> list[Violation]:

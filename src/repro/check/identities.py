@@ -118,6 +118,10 @@ CATALOG: tuple[tuple[str, str], ...] = (
     ("scalar-vs-vector",
      "the vectorized replay engine produces byte-identical counters and "
      "elapsed time to the scalar runtime on every trace"),
+    ("telemetry-parity",
+     "with windowed telemetry attached, both replay engines produce "
+     "byte-equal window streams, latency-digest buckets, counter tracks "
+     "and anomaly findings"),
 )
 
 CATALOG_NAMES = tuple(name for name, _ in CATALOG)

@@ -73,7 +73,9 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
         choices=list(ENGINE_NAMES),
         help="replay engine: 'scalar' (reference loop), 'vector' "
         "(byte-identical struct-of-arrays batch engine), or 'auto' "
-        "(vector whenever no per-access instrumentation is attached). "
+        "(vector unless something genuinely per-access is attached — "
+        "batch-capable telemetry such as windows, digests and anomaly "
+        "scans stays on the vector engine). "
         "Default: the config's engine ('auto')",
     )
 
@@ -192,6 +194,17 @@ def main_sim(argv: list[str] | None = None) -> int:
         "them to PATH as JSONL (one file, 'kind' key tells runtimes "
         "apart; feed back via gmt-why --from)",
     )
+    parser.add_argument(
+        "--lifecycle-sample-rate",
+        type=float,
+        metavar="P",
+        default=None,
+        help="record the lifecycle stream for a deterministic hash-"
+        "sampled fraction P of pages (0 < P <= 1) instead of the full "
+        "flight recorder; sampled pages keep their complete journeys, "
+        "and the sampled stream is batch-capable so --engine auto "
+        "stays on the vector engine",
+    )
     _add_engine(parser)
     _add_check_every(parser)
     _add_anomaly_flags(parser)
@@ -201,24 +214,31 @@ def main_sim(argv: list[str] | None = None) -> int:
     workload = get_workload(
         args.workload, config, oversubscription=args.oversubscription, seed=args.seed
     )
+    lifecycle_on = (
+        args.lifecycle_out is not None or args.lifecycle_sample_rate is not None
+    )
     telemetry_on = (
         args.trace_out is not None
         or args.metrics_out is not None
-        or args.lifecycle_out is not None
+        or lifecycle_on
         or args.anomaly_scan
     )
-    from repro.core.factory import resolve_engine
+    full_lifecycle = lifecycle_on and args.lifecycle_sample_rate is None
+    from repro.core.factory import resolve_engine_reason
 
-    engine = resolve_engine(
+    engine, engine_reason = resolve_engine_reason(
         args.engine,
         config,
-        recorder=telemetry_on,
+        recorder=full_lifecycle,
         checks=args.check_every is not None,
+        telemetry=telemetry_on,
     )
     telemetries = []
     results = {}
+    resolution = (engine, engine_reason)
     for kind in args.runtimes:
         runtime = build_runtime(kind, config, engine=engine)
+        runtime.engine_reason = engine_reason
         if args.check_every is not None:
             runtime.enable_periodic_checks(args.check_every)
         if telemetry_on:
@@ -227,12 +247,18 @@ def main_sim(argv: list[str] | None = None) -> int:
             telemetries.append(
                 runtime.attach_telemetry(
                     Telemetry(
-                        lifecycle=args.lifecycle_out is not None,
+                        lifecycle=full_lifecycle,
+                        lifecycle_sample_rate=args.lifecycle_sample_rate,
                         window=args.anomaly_window if args.anomaly_scan else 10_000,
                     )
                 )
             )
         results[RUNTIME_LABELS[kind]] = runtime.run(workload)
+        # Live resolution: a vector runtime that had to fall back to its
+        # scalar replay (per-access instrument attached after the fact)
+        # reports that here, not the up-front choice.
+        resolution = runtime.engine_resolution()
+    print("engine={} (reason={})".format(*resolution))
     if args.anomaly_scan:
         for kind, telemetry in zip(args.runtimes, telemetries):
             _scan_anomalies(args, telemetry, RUNTIME_LABELS[kind])
@@ -255,12 +281,17 @@ def main_sim(argv: list[str] | None = None) -> int:
             args.trace_out,
             [(t.name, t.tracer) for t in telemetries],
             windows={t.name: t.windows() for t in telemetries},
+            metadata={"engine": resolution[0], "engine_reason": resolution[1]},
         )
         print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
     if args.metrics_out is not None:
         from repro.obs.export import write_prometheus
 
-        write_prometheus(args.metrics_out, [t.registry for t in telemetries])
+        write_prometheus(
+            args.metrics_out,
+            [t.registry for t in telemetries],
+            header=["engine={} (reason={})".format(*resolution)],
+        )
         print(f"wrote Prometheus snapshot to {args.metrics_out}")
     if args.lifecycle_out is not None:
         import json
@@ -564,6 +595,13 @@ def main_serve(argv: list[str] | None = None) -> int:
         if violations:
             raise ConformanceError(violations)
     print(outcome.to_table())
+    shared_engine, shared_reason = server.engine_resolution()
+    print(f"engine={shared_engine} (reason={shared_reason})")
+    if server.solo_resolutions:
+        solo_engine, solo_reason = server.solo_resolutions[
+            min(server.solo_resolutions)
+        ]
+        print(f"solo baselines: engine={solo_engine} (reason={solo_reason})")
 
     if args.trace_out is not None:
         from repro.obs.export import write_chrome_trace
@@ -572,13 +610,16 @@ def main_serve(argv: list[str] | None = None) -> int:
             args.trace_out,
             {telemetry.name: telemetry.tracer},
             windows={telemetry.name: telemetry.windows()},
+            metadata={"engine": shared_engine, "engine_reason": shared_reason},
         )
         print(f"wrote {count} trace events to {args.trace_out} (ui.perfetto.dev)")
     if args.metrics_out is not None:
         from repro.obs.export import write_prometheus
 
         write_prometheus(
-            args.metrics_out, [telemetry.registry] + server.tenant_registries()
+            args.metrics_out,
+            [telemetry.registry] + server.tenant_registries(),
+            header=[f"engine={shared_engine} (reason={shared_reason})"],
         )
         print(f"wrote Prometheus snapshot to {args.metrics_out}")
     anomalies = []
@@ -589,11 +630,18 @@ def main_serve(argv: list[str] | None = None) -> int:
 
         stats = server.runtime.stats
         slowdowns = outcome.slowdowns()
+        solo_engines = sorted(
+            {eng for eng, _ in server.solo_resolutions.values()}
+        )
         record_run(
             "gmt-serve",
             wall_s=wall_s,
-            engine=args.engine or "scalar",
+            engine=shared_engine,
             params={
+                "engine_reason": shared_reason,
+                **(
+                    {"solo_engines": solo_engines} if solo_engines else {}
+                ),
                 "tenants": sorted(s.workload for s in specs),
                 "discipline": args.discipline,
                 "quotas": args.quotas,
@@ -671,6 +719,16 @@ def main_why(argv: list[str] | None = None) -> int:
         help="flight-recorder ring capacity (default 200000)",
     )
     parser.add_argument(
+        "--lifecycle-sample-rate",
+        type=float,
+        metavar="P",
+        default=None,
+        help="record a deterministic hash-sampled fraction P of pages "
+        "(0 < P <= 1) instead of every page; sampled pages keep their "
+        "complete journeys, and the replay stays on the vector engine "
+        "(queries about unsampled pages come back empty)",
+    )
+    parser.add_argument(
         "--window",
         type=int,
         default=2_000,
@@ -717,9 +775,14 @@ def main_why(argv: list[str] | None = None) -> int:
             seed=args.seed,
         )
         runtime = build_runtime(args.runtime, config)
-        telemetry = Telemetry(window=args.window, lifecycle=args.capacity)
+        telemetry = Telemetry(
+            window=args.window,
+            lifecycle=args.capacity,
+            lifecycle_sample_rate=args.lifecycle_sample_rate,
+        )
         runtime.attach_telemetry(telemetry)
         runtime.run(workload)
+        print("engine={} (reason={})".format(*runtime.engine_resolution()))
         events = telemetry.lifecycle.events()
         windows = telemetry.windows()
         if telemetry.lifecycle.dropped:

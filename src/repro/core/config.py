@@ -33,8 +33,12 @@ POLICY_NAMES = _POLICY_NAMES
 #: Replay-engine names (``GMTConfig.engine`` / every ``--engine`` flag).
 #: "scalar" is the reference per-access loop, "vector" the SoA batch
 #: engine (:mod:`repro.core.vector`), and "auto" resolves per run site:
-#: vector when nothing needs per-access observation (no flight recorder,
-#: no periodic checks, plain clock Tier-1), scalar otherwise.
+#: vector unless something genuinely per-access is requested (a full
+#: flight recorder / event log / profiler, periodic checks, or a
+#: policy-zoo Tier-1 structure).  Batch-capable telemetry — windowed
+#: snapshots, latency digests, counter tracks, anomaly scans, sampled
+#: lifecycle streams (:mod:`repro.obs.batch`) — stays on the vector
+#: engine.
 ENGINE_NAMES = ("scalar", "vector", "auto")
 
 

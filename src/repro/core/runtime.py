@@ -89,6 +89,11 @@ class GMTRuntime:
     #: :mod:`repro.core.vector`, overrides with "vector").  Distinct from
     #: :attr:`engine`, which is the Tier-1<->Tier-2 *transfer* engine.
     engine_name = "scalar"
+    #: Why this engine was selected.  The factory
+    #: (:func:`repro.core.factory.make_runtime`) stamps the resolution
+    #: reason on each instance; this class default covers direct
+    #: construction.
+    engine_reason = "scalar reference loop (constructed directly)"
     #: Who services faults — exported as a telemetry label; the
     #: CPU-orchestrated baselines override this with ``"host"``.
     orchestration = "gpu"
@@ -182,6 +187,17 @@ class GMTRuntime:
         #: default — one attribute check per access, like telemetry).
         self._check_every: int | None = None
         self.name = f"GMT-{self.policy.name}"
+
+    def engine_resolution(self) -> tuple[str, str]:
+        """The replay engine the next ``run`` will use, with the reason.
+
+        The scalar runtime always runs scalar; the vector mixin
+        overrides this with the live capability negotiation (attached
+        instruments can demote a vector runtime back to the scalar
+        loop).  This is the surface the CLIs print (``engine=...
+        (reason=...)``) and the exporters embed in headers.
+        """
+        return self.engine_name, self.engine_reason
 
     def _make_stats(self) -> RuntimeStats:
         """Counter storage for this run.  The multi-tenant serving layer

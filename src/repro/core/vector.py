@@ -28,9 +28,11 @@ Byte-identity with the scalar engine is a hard requirement (the
   sequential recurrence; ``np.add.reduce`` would pairwise-sum and drift);
 - anything the batch cannot express exactly — misses, prefetched pages'
   first demand touch, policies whose ``on_access`` is observable
-  (:attr:`~repro.core.policies.PlacementPolicy.hits_batchable`), attached
-  telemetry/flight-recorder/event-log/profiler/periodic checks — drops to
-  the inherited scalar code path for that access (or the whole run).
+  (:attr:`~repro.core.policies.PlacementPolicy.hits_batchable`), window
+  boundary accesses under attached telemetry — drops to the inherited
+  scalar code path for that access; per-access instruments (event log,
+  profiler, full flight recorder, periodic checks) demote the whole run
+  (the ``batch_capable`` negotiation, see :mod:`repro.obs.batch`).
 
 :func:`vector_variant` composes the mixin onto any runtime class whose
 access path is inherited from :class:`GMTRuntime` (all the baselines),
@@ -430,12 +432,18 @@ class TraceArrays:
 
     ``pages[k]``/``writes[k]`` describe the k-th coalesced access exactly
     as the scalar ``access_warp`` loop would issue it; ``n_warps`` is the
-    number of warp instructions the stream came from.
+    number of warp instructions the stream came from.  ``warps[k]`` is
+    the 1-based warp-instruction count up to and including access ``k``'s
+    warp — instrumented replays restore ``stats.warp_instructions`` from
+    it so window cuts observe the same mid-run value the scalar
+    ``access_warp`` loop would have accumulated (None on legacy
+    constructions; the engine then falls back to front-loading).
     """
 
     pages: np.ndarray
     writes: np.ndarray
     n_warps: int
+    warps: np.ndarray | None = None
 
 
 #: Materialized traces, cached per workload object.  Keyed weakly so the
@@ -456,11 +464,12 @@ def materialize_trace(workload: Workload) -> TraceArrays:
     cached = _TRACE_CACHE.get(workload)
     if cached is not None:
         return cached
-    n_warps, pages, writes = _flatten_warps(workload)
+    n_warps, pages, writes, warps = _flatten_warps(workload)
     arrays = TraceArrays(
         pages=np.asarray(pages, dtype=np.int64),
         writes=np.asarray(writes, dtype=bool),
         n_warps=n_warps,
+        warps=np.asarray(warps, dtype=np.int64),
     )
     _TRACE_CACHE[workload] = arrays
     return arrays
@@ -471,9 +480,12 @@ def clear_trace_cache() -> None:
     _TRACE_CACHE.clear()
 
 
-def _flatten_warps(trace: Iterable[WarpAccess]) -> tuple[int, list[int], list[bool]]:
+def _flatten_warps(
+    trace: Iterable[WarpAccess],
+) -> tuple[int, list[int], list[bool], list[int]]:
     pages: list[int] = []
     writes: list[bool] = []
+    warps: list[int] = []
     n_warps = 0
     for warp in trace:
         n_warps += 1
@@ -481,13 +493,15 @@ def _flatten_warps(trace: Iterable[WarpAccess]) -> tuple[int, list[int], list[bo
         for page in coalesce(warp):
             pages.append(page)
             writes.append(write)
-    return n_warps, pages, writes
+            warps.append(n_warps)
+    return n_warps, pages, writes, warps
 
 
 def _iter_trace_chunks(trace: Iterable[WarpAccess], chunk_warps: int):
     """Group a one-shot warp iterable into bounded flat chunks."""
     pages: list[int] = []
     writes: list[bool] = []
+    warps: list[int] = []
     n_warps = 0
     for warp in trace:
         n_warps += 1
@@ -495,11 +509,12 @@ def _iter_trace_chunks(trace: Iterable[WarpAccess], chunk_warps: int):
         for page in coalesce(warp):
             pages.append(page)
             writes.append(write)
+            warps.append(n_warps)
         if n_warps >= chunk_warps:
-            yield n_warps, pages, writes
-            pages, writes, n_warps = [], [], 0
+            yield n_warps, pages, writes, warps
+            pages, writes, warps, n_warps = [], [], [], 0
     if n_warps:
-        yield n_warps, pages, writes
+        yield n_warps, pages, writes, warps
 
 
 # ----------------------------------------------------------------------
@@ -529,54 +544,125 @@ class VectorEngineMixin:
         self._window = _WINDOW_INIT
 
     # -- capability gate ------------------------------------------------
-    def _vector_ready(self) -> bool:
-        """Whether the batch path can run without observable differences.
+    def _fallback_reason(self) -> str | None:
+        """Why the batch path cannot run (None = it can).
 
-        Any attached instrument sees *per-access* structure (telemetry
-        windows, lifecycle events, profiler phases, periodic audits), so
-        its presence demotes the whole run to the inherited scalar loop.
+        This is the capability negotiation: instruments that observe
+        per-window or per-event structure declare ``batch_capable`` and
+        ride the bulk path (:mod:`repro.obs.batch`); genuinely per-access
+        consumers — the event log, the profiler, the full flight-recorder
+        ring, periodic audits — demote the whole run to the inherited
+        scalar loop.
         """
-        return (
-            self._events is None
-            and self._obs is None
-            and self._flight is None
-            and self._prof is None
-            and self._check_every is None
-            and isinstance(self.t1_clock, VectorClock)
-        )
+        if self._events is not None:
+            return "event log records every access"
+        if self._prof is not None:
+            return "phase profiler wraps the per-access hot path"
+        if self._check_every is not None:
+            return "periodic conformance audit runs between accesses"
+        if not isinstance(self.t1_clock, VectorClock):
+            return (
+                f"tier1_eviction={self.config.tier1_eviction!r} has no "
+                "vector twin"
+            )
+        from repro.obs.batch import is_batch_capable
+
+        if self._flight is not None and not is_batch_capable(self._flight):
+            return (
+                "full flight recorder is per-access "
+                "(use --lifecycle-sample-rate for a batch-capable stream)"
+            )
+        if self._obs is not None and not is_batch_capable(self._obs):
+            return "attached telemetry hosts a per-access instrument"
+        return None
+
+    def _vector_ready(self) -> bool:
+        """Whether the batch path can run without observable differences."""
+        return self._fallback_reason() is None
+
+    def engine_resolution(self) -> tuple[str, str]:
+        """The engine the next ``run`` will actually use, with the reason
+        — the surface ``gmt-sim``/``gmt-serve`` print and export."""
+        reason = self._fallback_reason()
+        if reason is not None:
+            return "scalar", reason
+        if self._obs is not None:
+            return "vector", "batch-capable telemetry rides the bulk hit path"
+        return "vector", "no per-access consumers attached"
 
     # -- replay ---------------------------------------------------------
     def run(self, trace):
         if not self._vector_ready():
             return super().run(trace)
+        obs = self._obs
+        chain = obs.batch_observer() if obs is not None else None
+        if isinstance(trace, Workload):
+            trace = materialize_trace(trace)
         if isinstance(trace, TraceArrays):
-            self.stats.warp_instructions += trace.n_warps
-            self._replay_flat(trace.pages, trace.writes)
-        elif isinstance(trace, Workload):
-            arrays = materialize_trace(trace)
-            self.stats.warp_instructions += arrays.n_warps
-            self._replay_flat(arrays.pages, arrays.writes)
+            if chain is not None and trace.warps is not None:
+                # Instrumented: warp counts accrue incrementally inside
+                # the replay, so window cuts see the scalar mid-run value.
+                self._replay_flat(
+                    trace.pages, trace.writes, chain,
+                    warps=trace.warps, n_warps=trace.n_warps,
+                )
+            else:
+                self.stats.warp_instructions += trace.n_warps
+                self._replay_flat(trace.pages, trace.writes, chain)
         else:
             # One-shot iterable (e.g. a tenant stream): bounded chunks.
-            for n_warps, pages, writes in _iter_trace_chunks(
+            for n_warps, pages, writes, warps in _iter_trace_chunks(
                 trace, _STREAM_CHUNK_WARPS
             ):
-                self.stats.warp_instructions += n_warps
-                self._replay_flat(
-                    np.asarray(pages, dtype=np.int64),
-                    np.asarray(writes, dtype=bool),
-                )
+                pages = np.asarray(pages, dtype=np.int64)
+                writes = np.asarray(writes, dtype=bool)
+                if chain is not None:
+                    self._replay_flat(
+                        pages, writes, chain,
+                        warps=np.asarray(warps, dtype=np.int64),
+                        n_warps=n_warps,
+                    )
+                else:
+                    self.stats.warp_instructions += n_warps
+                    self._replay_flat(pages, writes, chain)
+        if obs is not None:
+            # Mirror the scalar run(): flush the final partial window so
+            # the replay tail reaches telemetry.windows() (and gmt-top's
+            # on_window feed) under the batch path too.
+            obs.finish()
         return self.result()
 
-    def _replay_flat(self, pages: np.ndarray, writes: np.ndarray) -> None:
+    def _replay_flat(
+        self,
+        pages: np.ndarray,
+        writes: np.ndarray,
+        chain=None,
+        warps: np.ndarray | None = None,
+        n_warps: int = 0,
+    ) -> None:
         """Replay one flat coalesced-access chunk.
 
         Hits retire in batches; every miss (and every access while the
         policy's ``on_access`` is observable) goes through the inherited
         scalar ``access``, so the miss pipeline is *the* scalar pipeline.
+
+        ``chain`` is the telemetry's per-batch observer chain
+        (:class:`repro.obs.batch.BatchObserverChain`, None when
+        uninstrumented): it caps each batch to end just before the next
+        windowed-snapshot boundary — the boundary access replays scalar,
+        so window cuts inherit the scalar tick ordering byte-for-byte —
+        and is notified after each retired run.
+
+        ``warps`` (instrumented runs only) carries the cumulative warp
+        count per access; ``stats.warp_instructions`` is restored from it
+        around every scalar-replayed access and every retired batch, so
+        any window cut observes exactly the value the scalar
+        ``access_warp`` loop would have accumulated by that access.
         """
         n = pages.shape[0]
         if n == 0:
+            if warps is not None:
+                self.stats.warp_instructions += n_warps
             return
         store = self._vstore
         # Headroom covers sequential prefetch candidates past the chunk
@@ -585,6 +671,8 @@ class VectorEngineMixin:
         store.ensure(int(pages.max()) + 1 + self.config.prefetch_degree)
         check_prefetched = bool(self.config.prefetch_degree)
         access = self.access
+        stats = self.stats
+        warp_base = stats.warp_instructions
         window = self._window
         miss_streak = 0
         i = 0
@@ -596,11 +684,26 @@ class VectorEngineMixin:
                 # this is a speed decision, never a semantic one.
                 end = min(i + _SCALAR_STRIDE, n)
                 while i < end:
+                    if warps is not None:
+                        stats.warp_instructions = warp_base + int(warps[i])
                     access(int(pages[i]), write=bool(writes[i]))
                     i += 1
                 miss_streak = 0
                 continue
             w = min(window, n - i)
+            if chain is not None:
+                room = chain.limit(stats.coalesced_accesses)
+                if room <= 0:
+                    # The next access lands on a window boundary; replay
+                    # it through the scalar path so the cut captures the
+                    # exact half-applied state a scalar tick would.
+                    if warps is not None:
+                        stats.warp_instructions = warp_base + int(warps[i])
+                    access(int(pages[i]), write=bool(writes[i]))
+                    i += 1
+                    continue
+                if room < w:
+                    w = room
             chunk = pages[i : i + w]
             hits = store.loc[chunk] == _T1_CODE
             if check_prefetched:
@@ -612,6 +715,10 @@ class VectorEngineMixin:
             if run_len:
                 self._batch_hits(chunk[:run_len], writes[i : i + run_len])
                 i += run_len
+                if warps is not None:
+                    stats.warp_instructions = warp_base + int(warps[i - 1])
+                if chain is not None:
+                    chain.on_hits(run_len, stats.coalesced_accesses)
                 miss_streak = 0
                 if run_len == w:
                     window = min(window * 2, _WINDOW_MAX)
@@ -621,9 +728,14 @@ class VectorEngineMixin:
             window = max(_WINDOW_MIN, window // 2)
             # The blocking access — a miss, or a prefetched page's first
             # demand touch — replays scalar.
+            if warps is not None:
+                stats.warp_instructions = warp_base + int(warps[i])
             access(int(pages[i]), write=bool(writes[i]))
             i += 1
         self._window = window
+        if warps is not None:
+            # Trailing warps with no coalesced accesses still count.
+            stats.warp_instructions = warp_base + n_warps
 
     def _batch_hits(self, chunk: np.ndarray, writes: np.ndarray) -> None:
         """Retire ``k`` consecutive Tier-1 hits as array operations.

@@ -153,6 +153,7 @@ def _worker_init(
     telemetry_lifecycle: bool = False,
     check_every: int | None = None,
     engine: str | None = None,
+    anomaly: dict | None = None,
 ) -> None:
     if telemetry_dir:
         from repro.experiments.harness import set_telemetry_dir
@@ -166,6 +167,16 @@ def _worker_init(
         from repro.experiments.harness import set_engine
 
         set_engine(engine)
+    if anomaly is not None:
+        from repro.experiments.harness import set_anomaly_scan
+
+        set_anomaly_scan(
+            anomaly["spool_dir"],
+            window=anomaly["window"],
+            thrash=anomaly["thrash"],
+            bypass=anomaly["bypass"],
+            spike=anomaly["spike"],
+        )
 
 
 # ----------------------------------------------------------------------
@@ -326,6 +337,10 @@ class Engine:
             process-wide replay-engine request (see
             ``repro.experiments.harness.set_engine``) exactly like the
             serial path.
+        anomaly: forwarded to pool workers so uncached replays run the
+            windowed anomaly scan and spool findings (see
+            ``repro.experiments.harness.set_anomaly_scan``) exactly like
+            the serial path.
     """
 
     def __init__(
@@ -339,6 +354,7 @@ class Engine:
         telemetry_lifecycle: bool = False,
         check_every: int | None = None,
         engine: str | None = None,
+        anomaly: dict | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -351,6 +367,7 @@ class Engine:
         self.telemetry_lifecycle = telemetry_lifecycle
         self.check_every = check_every
         self.engine = engine
+        self.anomaly = anomaly
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -424,6 +441,7 @@ class Engine:
                         self.telemetry_lifecycle,
                         self.check_every,
                         self.engine,
+                        self.anomaly,
                     ),
                 ) as pool:
                     yield from self._consume(pending, pool.map(execute_cell, pending))

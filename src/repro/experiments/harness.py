@@ -44,6 +44,13 @@ _telemetry_dir: str | None = None
 _telemetry_lifecycle: bool = False
 
 
+#: When set (see :func:`set_anomaly_scan`), every *uncached* replay runs
+#: with windowed telemetry attached and its window stream is scanned for
+#: thrash / bypass-storm / latency-spike anomalies; findings are spooled
+#: as JSONL into ``_anomaly["spool_dir"]`` (one file per worker process,
+#: so pool workers and the serial path converge on the same directory).
+_anomaly: dict | None = None
+
 #: When set (see :func:`set_check_every`), every *uncached* replay runs
 #: with periodic conformance checking enabled at this cadence.
 _check_every: int | None = None
@@ -112,17 +119,93 @@ def set_telemetry_dir(path: str | None, lifecycle: bool = False) -> None:
     _telemetry_lifecycle = bool(lifecycle) and path is not None
 
 
+def set_anomaly_scan(
+    spool_dir: str | None,
+    window: int = 10_000,
+    thrash: float = 0.5,
+    bypass: float = 0.75,
+    spike: float = 3.0,
+) -> None:
+    """Scan every *uncached* replay's window stream for anomalies
+    (None disables).
+
+    Enables windowed telemetry (interval ``window``) on each replay even
+    without :func:`set_telemetry_dir`, runs
+    :class:`~repro.obs.anomaly.AnomalyDetector` over the stream after the
+    run, and appends one JSON line per finding to
+    ``<spool_dir>/<pid>.anomalies.jsonl`` — per-process files, so the
+    same spool directory works from :class:`~repro.experiments.engine.
+    Engine` pool workers and the serial path alike.  Like telemetry,
+    cached replays are reused as-is and contribute no findings.
+    """
+    global _anomaly
+    if spool_dir is None:
+        _anomaly = None
+        return
+    if window < 1:
+        raise ConfigError(f"anomaly window must be >= 1, got {window}")
+    _anomaly = {
+        "spool_dir": spool_dir,
+        "window": int(window),
+        "thrash": float(thrash),
+        "bypass": float(bypass),
+        "spike": float(spike),
+    }
+
+
+def get_anomaly_scan() -> dict | None:
+    """The process-wide anomaly-scan settings (see :func:`set_anomaly_scan`)."""
+    return _anomaly
+
+
 def _attach_run_telemetry(runtime: GMTRuntime, app: str, kind: str):
-    if _telemetry_dir is None:
+    if _telemetry_dir is None and _anomaly is None:
         return None
     from repro.obs import Telemetry
 
     telemetry = Telemetry(
         labels={"app": normalize_name(app), "kind": kind},
         lifecycle=_telemetry_lifecycle,
+        window=_anomaly["window"] if _anomaly is not None else 10_000,
     )
     runtime.attach_telemetry(telemetry)
     return telemetry
+
+
+def _spool_anomalies(telemetry, app: str, kind: str) -> None:
+    import json
+    import os
+
+    from repro.obs.anomaly import AnomalyDetector
+
+    detector = AnomalyDetector(
+        thrash_evictions_per_access=_anomaly["thrash"],
+        bypass_fraction=_anomaly["bypass"],
+        latency_spike_factor=_anomaly["spike"],
+    )
+    findings = detector.scan_and_annotate(telemetry)
+    if not findings:
+        return
+    os.makedirs(_anomaly["spool_dir"], exist_ok=True)
+    path = os.path.join(_anomaly["spool_dir"], f"{os.getpid()}.anomalies.jsonl")
+    with open(path, "a", encoding="utf-8") as fh:
+        for finding in findings:
+            fh.write(
+                json.dumps(
+                    {
+                        "app": normalize_name(app),
+                        "kind": kind,
+                        "rule": finding.rule,
+                        "window": finding.window,
+                        "position": finding.position,
+                        "value": finding.value,
+                        "threshold": finding.threshold,
+                        "message": str(finding),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
 
 
 def _export_run_telemetry(telemetry, app: str, kind: str) -> None:
@@ -212,13 +295,18 @@ def build_runtime(
 
     The replay engine resolves ``engine`` (explicit argument) over
     :func:`set_engine` (process-wide ``--engine`` plumbing) over
-    ``config.engine``; ``"auto"`` lands on scalar whenever the harness's
-    telemetry export or periodic checking is active, vector otherwise.
+    ``config.engine``.  Windowed telemetry export and the anomaly scan
+    are batch-capable, so ``"auto"`` stays on the vector engine for
+    them; only the page-lifecycle flight recorder
+    (:func:`set_telemetry_dir` with ``lifecycle=True``) and periodic
+    conformance checking (:func:`set_check_every`) — genuinely
+    per-access consumers — demote it to scalar.
     """
     if engine is None:
         engine = _engine_override
-    recorder = _telemetry_dir is not None
+    recorder = _telemetry_lifecycle
     checks = _check_every is not None
+    telemetry = _telemetry_dir is not None or _anomaly is not None
     if kind == "bam":
         runtime_cls: type[GMTRuntime] = BamRuntime
     elif kind == "hmm":
@@ -240,6 +328,7 @@ def build_runtime(
         engine=engine,
         recorder=recorder,
         checks=checks,
+        telemetry=telemetry,
     )
 
 
@@ -286,7 +375,10 @@ def run_app(
         telemetry = _attach_run_telemetry(runtime, app, kind)
         result = runtime.run(workload)
         if telemetry is not None:
-            _export_run_telemetry(telemetry, app, kind)
+            if _anomaly is not None:
+                _spool_anomalies(telemetry, app, kind)
+            if _telemetry_dir is not None:
+                _export_run_telemetry(telemetry, app, kind)
         _run_cache[key] = result
     return result
 

@@ -67,6 +67,41 @@ def _progress_printer(line: str) -> None:
     print(line, file=sys.stderr)
 
 
+def _drain_anomalies(spool_dir: str, seen: set[str]) -> list[dict]:
+    """New findings spooled since the last drain (see
+    ``repro.experiments.harness.set_anomaly_scan``); ``seen`` carries the
+    raw lines already reported so each experiment prints only its own."""
+    import json
+    from pathlib import Path
+
+    findings: list[dict] = []
+    for path in sorted(Path(spool_dir).glob("*.anomalies.jsonl")):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            if line and line not in seen:
+                seen.add(line)
+                findings.append(json.loads(line))
+    return findings
+
+
+def _anomaly_summary(name: str, findings: list[dict]) -> str:
+    if not findings:
+        return f"[{name}] anomaly scan: no findings in newly executed cells"
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding["rule"]] = by_rule.get(finding["rule"], 0) + 1
+    rules = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+    lines = [f"[{name}] anomaly scan: {len(findings)} finding(s) ({rules})"]
+    for finding in sorted(
+        findings, key=lambda f: (f["app"], f["kind"], f["window"], f["rule"])
+    ):
+        lines.append(f"  {finding['app']}/{finding['kind']}: {finding['message']}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="gmt-experiments",
@@ -130,6 +165,47 @@ def main(argv: list[str] | None = None) -> int:
         "identities, see gmt-check) every N coalesced accesses on every "
         "uncached replay; a violation fails the experiment",
     )
+    parser.add_argument(
+        "--anomaly-scan",
+        action="store_true",
+        help="attach windowed telemetry to every uncached replay and scan "
+        "its window stream for thrash / bypass-storm / latency-spike "
+        "anomalies; findings are summarised per experiment (cached cells "
+        "are reused as-is and contribute no findings — use --force to "
+        "rescan everything)",
+    )
+    parser.add_argument(
+        "--anomaly-window",
+        type=int,
+        metavar="N",
+        default=10_000,
+        help="snapshot interval (coalesced accesses) for --anomaly-scan "
+        "windows (default 10000)",
+    )
+    parser.add_argument(
+        "--anomaly-thrash",
+        type=float,
+        metavar="F",
+        default=0.5,
+        help="flag a window when Tier-1 evictions per access exceed F "
+        "(default 0.5)",
+    )
+    parser.add_argument(
+        "--anomaly-bypass",
+        type=float,
+        metavar="F",
+        default=0.75,
+        help="flag a window when the fraction of Tier-1 evictions that "
+        "bypassed Tier-2 exceeds F (default 0.75)",
+    )
+    parser.add_argument(
+        "--anomaly-spike",
+        type=float,
+        metavar="F",
+        default=3.0,
+        help="flag a window whose mean fault latency exceeds F x the "
+        "trailing mean (default 3.0)",
+    )
     from repro.core.config import ENGINE_NAMES
 
     parser.add_argument(
@@ -165,6 +241,38 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.harness import set_engine
 
         set_engine(args.engine)
+    anomaly = None
+    if args.anomaly_scan:
+        import tempfile
+
+        from repro.errors import GMTError
+        from repro.experiments.harness import set_anomaly_scan
+        from repro.obs.anomaly import AnomalyDetector
+
+        try:  # validate thresholds up front, not inside a pool worker
+            AnomalyDetector(
+                thrash_evictions_per_access=args.anomaly_thrash,
+                bypass_fraction=args.anomaly_bypass,
+                latency_spike_factor=args.anomaly_spike,
+            )
+        except GMTError as exc:
+            parser.error(str(exc))
+        if args.anomaly_window < 1:
+            parser.error("--anomaly-window must be >= 1")
+        anomaly = {
+            "spool_dir": tempfile.mkdtemp(prefix="gmt-anomalies-"),
+            "window": args.anomaly_window,
+            "thrash": args.anomaly_thrash,
+            "bypass": args.anomaly_bypass,
+            "spike": args.anomaly_spike,
+        }
+        set_anomaly_scan(
+            anomaly["spool_dir"],
+            window=anomaly["window"],
+            thrash=anomaly["thrash"],
+            bypass=anomaly["bypass"],
+            spike=anomaly["spike"],
+        )
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     # Validate every name up-front so a typo fails before hours of work.
@@ -180,9 +288,12 @@ def main(argv: list[str] | None = None) -> int:
         telemetry_lifecycle=args.telemetry_lifecycle,
         check_every=args.check_every,
         engine=args.engine,
+        anomaly=anomaly,
     )
 
     failures: dict[str, Exception] = {}
+    anomaly_seen: set[str] = set()
+    anomaly_total = 0
     run_start = time.time()
     for name in names:
         start = time.time()
@@ -202,23 +313,47 @@ def main(argv: list[str] | None = None) -> int:
         for result in results:
             print(result.to_text())
             print()
+        if anomaly is not None:
+            findings = _drain_anomalies(anomaly["spool_dir"], anomaly_seen)
+            anomaly_total += len(findings)
+            print(_anomaly_summary(name, findings))
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
 
     print(f"[engine] {engine.stats.summary()}")
     if not args.no_ledger:
+        from repro.core.factory import resolve_engine_reason
+        from repro.experiments.harness import default_config
         from repro.obs.ledger import record_run
 
+        # The resolution every GMT replay cell sees under the current
+        # instrumentation flags (baseline runtimes follow the same rule).
+        resolved, reason = resolve_engine_reason(
+            args.engine,
+            default_config(args.scale),
+            recorder=args.telemetry_lifecycle,
+            checks=args.check_every is not None,
+            telemetry=args.telemetry_dir is not None or anomaly is not None,
+        )
         record_run(
             "gmt-experiments",
             wall_s=time.time() - run_start,
-            params={"experiments": sorted(names), "scale": args.scale},
+            params={
+                "experiments": sorted(names),
+                "scale": args.scale,
+                "engine_reason": reason,
+            },
             metrics={
                 "experiments": len(names),
                 "failures": len(failures),
                 "cells_executed": engine.stats.executed,
+                **({"anomaly_findings": anomaly_total} if anomaly is not None else {}),
             },
-            engine=args.engine or "scalar",
+            engine=resolved,
         )
+    if anomaly is not None:
+        from repro.experiments.harness import set_anomaly_scan
+
+        set_anomaly_scan(None)  # don't leak the spool into later in-process use
     if failures:
         summary = ", ".join(
             f"{name} ({type(exc).__name__})" for name, exc in failures.items()

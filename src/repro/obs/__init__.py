@@ -12,6 +12,9 @@ Three pillars (see docs/observability.md for the catalog and formats):
   the causal query engine behind the ``gmt-why`` CLI;
 - :mod:`repro.obs.anomaly` — thrash / bypass-storm / latency-spike
   detection over windowed snapshots;
+- :mod:`repro.obs.batch` — the batch-aware instrumentation pipeline:
+  the ``batch_capable`` capability negotiation, the per-batch observer
+  chain the vector engine drives, and the sampled lifecycle recorder;
 - :mod:`repro.obs.digest` — bounded-memory streaming quantile digests
   (:class:`LatencyDigest`) behind the latency-percentile gauges;
 - :mod:`repro.obs.ledger` — the append-only JSONL run ledger and the
@@ -25,6 +28,12 @@ also record page lifecycles).
 """
 
 from repro.obs.anomaly import Anomaly, AnomalyDetector
+from repro.obs.batch import (
+    BatchObserverChain,
+    SampledLifecycleRecorder,
+    WindowBatchObserver,
+    is_batch_capable,
+)
 from repro.obs.digest import LatencyDigest
 from repro.obs.export import (
     counter_track_events,
@@ -67,6 +76,7 @@ from repro.obs.tracing import Span, SpanTracer
 __all__ = [
     "Anomaly",
     "AnomalyDetector",
+    "BatchObserverChain",
     "BoundCounter",
     "Counter",
     "Drift",
@@ -78,14 +88,17 @@ __all__ = [
     "LifecycleQuery",
     "LifecycleRecorder",
     "MetricsRegistry",
+    "SampledLifecycleRecorder",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "WindowBatchObserver",
     "WindowedSnapshotter",
     "append_entry",
     "chrome_trace_events",
     "counter_track_events",
     "detect_drift",
+    "is_batch_capable",
     "lifecycle_trace_events",
     "linear_buckets",
     "load_lifecycle_jsonl",

@@ -1,0 +1,172 @@
+"""Batch-aware instrumentation — observability that survives the vector
+engine.
+
+The SoA replay engine (:mod:`repro.core.vector`) retires runs of Tier-1
+hits as a handful of array operations.  Per-access observer callbacks
+would undo exactly the win being bought, so historically *any* attached
+instrument demoted the whole run to the scalar loop — turning on SLO
+digests cost 50x (HM-Keeper's argument in PAPERS.md: profiling a tiered
+memory system must be cheap enough to stay on).  This module replaces
+that cliff with a capability negotiation:
+
+- every instrument declares :data:`batch_capable` (duck-typed attribute,
+  default False via :func:`is_batch_capable`);
+- a :class:`Telemetry <repro.obs.telemetry.Telemetry>` whose attached
+  instruments are all batch-capable composes a
+  :class:`BatchObserverChain` for the engine, built from per-batch
+  observers such as :class:`WindowBatchObserver`;
+- the engine consults ``chain.limit(position)`` before probing a hit run
+  and calls ``chain.on_hits(count, position)`` after retiring one.
+
+**Why this yields byte-identical telemetry.**  On the scalar path the
+window clock ticks *after* an access's ``coalesced_accesses``/compute
+contributions but *before* its hit-branch counters (``t1_hits``, clock
+touch), so a window cut at boundary position ``b`` must capture the
+``b``-th access half-applied.  A bulk-retired batch cannot reproduce
+that intermediate state — so :class:`WindowBatchObserver` never lets a
+batch reach a boundary: batches are capped to end at ``b - 1`` and the
+boundary access itself replays through the inherited scalar ``access``,
+inheriting the scalar tick ordering exactly.  Every other telemetry
+interaction is already scalar-side: spans, latency histograms, and the
+:class:`~repro.obs.digest.LatencyDigest` observe only on misses, and
+misses always take the scalar pipeline inside the vector engine.
+Counter tracks and anomaly findings are pure functions of the window
+stream, so their parity follows from window parity.  The ``gmt-check``
+telemetry-parity column asserts all four.
+
+The genuinely per-access consumers — the full flight recorder ring
+(`gmt-why`'s default), the event log, the profiler, ``--check-every`` —
+keep forcing the scalar loop; :class:`SampledLifecycleRecorder` is the
+batch-capable middle ground for ``gmt-why`` on sampled page journeys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.obs.lifecycle import LifecycleKind, LifecycleRecorder
+from repro.obs.snapshots import WindowedSnapshotter
+
+__all__ = [
+    "BatchObserverChain",
+    "SampledLifecycleRecorder",
+    "WindowBatchObserver",
+    "is_batch_capable",
+]
+
+
+def is_batch_capable(instrument) -> bool:
+    """Whether ``instrument`` declares it can observe bulk-retired
+    batches (``batch_capable`` attribute; absent means per-access)."""
+    return bool(getattr(instrument, "batch_capable", False))
+
+
+class WindowBatchObserver:
+    """Splits retired batches at windowed-snapshot boundaries.
+
+    ``limit`` caps a prospective batch so it ends just *before* the next
+    window boundary on the coalesced-access clock (the boundary access
+    replays scalar — see the module docstring); ``on_hits`` advances the
+    window clock through :meth:`WindowedSnapshotter.add_batch`, which in
+    this regime never cuts (the cap guarantees no boundary is crossed)
+    but keeps the bulk path honest if intervals shrink mid-run.
+    """
+
+    batch_capable = True
+
+    def __init__(self, snapshotter: WindowedSnapshotter) -> None:
+        self._snap = snapshotter
+
+    def limit(self, position: int) -> int:
+        """Max accesses retirable in bulk from ``position`` before the
+        next window boundary (<= 0 means the very next access is the
+        boundary access and must replay scalar)."""
+        snap = self._snap
+        return snap._last_position + snap.interval - 1 - position
+
+    def on_hits(self, count: int, position: int) -> None:
+        """One retired hit run ended at ``position``."""
+        self._snap.add_batch(position)
+
+
+class BatchObserverChain:
+    """The engine-facing composition of per-batch observers.
+
+    The vector engine holds exactly one of these per instrumented run:
+    ``limit`` is the min over all observers (most restrictive boundary
+    wins), ``on_hits`` fans out in attach order.
+    """
+
+    def __init__(self, observers) -> None:
+        self.observers = [obs for obs in observers if obs is not None]
+
+    def limit(self, position: int) -> int:
+        return min(obs.limit(position) for obs in self.observers)
+
+    def on_hits(self, count: int, position: int) -> None:
+        for obs in self.observers:
+            obs.on_hits(count, position)
+
+
+class SampledLifecycleRecorder(LifecycleRecorder):
+    """A page-sampled lifecycle stream that the vector engine tolerates.
+
+    The full :class:`LifecycleRecorder` wants every page's every
+    transition — a per-access contract, so it forces the scalar loop.
+    This variant records only a deterministic pseudo-random subset of
+    *pages* (not of events: a sampled page's journey is complete, which
+    is what ``gmt-why``'s causal queries need).  Lifecycle emission
+    sites all live on the scalar-side paths inside the vector engine
+    (misses, evictions, writebacks, prefetches, policy resolutions), so
+    the sampled stream is identical under either engine — and the
+    recorder can declare :data:`batch_capable`.
+
+    Sampling is a splitmix64-style hash of ``(page, seed)`` against
+    ``sample_rate``: engine-independent, replay-stable, and unbiased
+    across page-id patterns (unlike ``page % k``).
+    """
+
+    batch_capable = True
+
+    def __init__(
+        self,
+        sample_rate: float,
+        capacity: int | None = 100_000,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        super().__init__(capacity=capacity)
+        self.sample_rate = sample_rate
+        self.seed = seed
+        #: Admission threshold on the 64-bit hash space.
+        self._threshold = int(sample_rate * 2**64)
+        #: Pages that cleared the hash (memoized; page counts are bounded
+        #: by the footprint, far below event counts).
+        self._admitted: dict[int, bool] = {}
+
+    def sampled(self, page: int) -> bool:
+        """Whether ``page``'s journey is recorded."""
+        hit = self._admitted.get(page)
+        if hit is None:
+            hit = _mix64(page * 0x9E3779B97F4A7C15 + self.seed) < self._threshold
+            self._admitted[page] = hit
+        return hit
+
+    def emit(self, kind: LifecycleKind, page: int, access: int, *args, **kwargs):
+        """Record the transition iff ``page`` is in the sample."""
+        if not self.sampled(page):
+            return None
+        return super().emit(kind, page, access, *args, **kwargs)
+
+
+def _mix64(x: int) -> int:
+    """Finalizer of splitmix64: avalanche a 64-bit value."""
+    x &= 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x

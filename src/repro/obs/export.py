@@ -155,10 +155,19 @@ def write_chrome_trace(
     path: str,
     tracers: Mapping[str, SpanTracer] | Iterable[tuple[str, SpanTracer]],
     windows: Mapping[str, Iterable[Mapping]] | None = None,
+    metadata: Mapping[str, object] | None = None,
 ) -> int:
-    """Write a Perfetto-loadable trace JSON; returns the event count."""
+    """Write a Perfetto-loadable trace JSON; returns the event count.
+
+    ``metadata`` lands under the payload's top-level ``"metadata"`` key
+    (the Trace Event Format's free-form side channel — Perfetto shows it
+    in the trace-info page).  The CLIs use it to stamp each trace with
+    the resolved replay engine and the reason behind the resolution.
+    """
     events = chrome_trace_events(tracers, windows=windows)
-    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    payload: dict = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if metadata:
+        payload["metadata"] = dict(metadata)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh)
     return len(events)
@@ -246,10 +255,23 @@ def prometheus_text(registries: MetricsRegistry | Iterable[MetricsRegistry]) -> 
 
 
 def write_prometheus(
-    path: str, registries: MetricsRegistry | Iterable[MetricsRegistry]
+    path: str,
+    registries: MetricsRegistry | Iterable[MetricsRegistry],
+    header: Iterable[str] | str | None = None,
 ) -> str:
-    """Write a Prometheus text snapshot; returns the rendered text."""
+    """Write a Prometheus text snapshot; returns the rendered text.
+
+    ``header`` lines are emitted first as ``#`` comments (the exposition
+    format ignores comment lines that are not HELP/TYPE), so snapshots
+    can carry run provenance — the CLIs stamp the resolved replay engine
+    here — without perturbing any scraper.
+    """
     text = prometheus_text(registries)
+    if header:
+        if isinstance(header, str):
+            header = [header]
+        prefix = "".join(f"# {line}\n" for line in header)
+        text = prefix + text
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return text

@@ -54,6 +54,12 @@ class Telemetry:
             ``True`` (on, default ring capacity), or an ``int`` ring
             capacity.  Off costs nothing — the runtime keeps its
             ``self._flight is None`` fast path.
+        lifecycle_sample_rate: record only a deterministic hash-sampled
+            subset of pages' journeys
+            (:class:`~repro.obs.batch.SampledLifecycleRecorder`).  The
+            sampled recorder is batch-capable, so — unlike the full ring
+            — it does not force the vector engine back to the scalar
+            loop.  Implies ``lifecycle`` when set.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class Telemetry:
         trace_capacity: int | None = 100_000,
         window: int = 10_000,
         lifecycle: bool | int = False,
+        lifecycle_sample_rate: float | None = None,
     ) -> None:
         self.registry = MetricsRegistry(const_labels=labels)
         self.tracer = SpanTracer(capacity=trace_capacity)
@@ -70,9 +77,10 @@ class Telemetry:
         self._cost = None  # the runtime's CostModel; drives the trace clock
         #: Optional page-lifecycle flight recorder (None = disabled).
         self.lifecycle = None
-        if lifecycle:
+        if lifecycle or lifecycle_sample_rate is not None:
             self.enable_lifecycle(
-                capacity=lifecycle if isinstance(lifecycle, int) and lifecycle is not True else 100_000
+                capacity=lifecycle if not isinstance(lifecycle, bool) else 100_000,
+                sample_rate=lifecycle_sample_rate,
             )
 
     # -- instruments that exist before attach (usable standalone) -------
@@ -128,21 +136,63 @@ class Telemetry:
     # ------------------------------------------------------------------
     # page-lifecycle flight recorder (optional)
     # ------------------------------------------------------------------
-    def enable_lifecycle(self, capacity: int | None = 100_000):
+    def enable_lifecycle(
+        self,
+        capacity: int | None = 100_000,
+        sample_rate: float | None = None,
+    ):
         """Create (or return) the lifecycle flight recorder.
 
-        Call before ``attach`` (or pass ``lifecycle=`` to the
-        constructor); the recorder is wired into the runtime's emission
-        sites at attach time.  Returns the recorder.
+        Call before ``attach`` (or pass ``lifecycle=`` /
+        ``lifecycle_sample_rate=`` to the constructor); the recorder is
+        wired into the runtime's emission sites at attach time.  With
+        ``sample_rate`` set, the recorder is a batch-capable
+        :class:`~repro.obs.batch.SampledLifecycleRecorder` — the vector
+        engine keeps its bulk hit path.  Returns the recorder.
         """
         if self.lifecycle is None:
-            from repro.obs.lifecycle import LifecycleRecorder
+            if sample_rate is not None:
+                from repro.obs.batch import SampledLifecycleRecorder
 
-            self.lifecycle = LifecycleRecorder(capacity=capacity)
+                self.lifecycle = SampledLifecycleRecorder(
+                    sample_rate, capacity=capacity
+                )
+            else:
+                from repro.obs.lifecycle import LifecycleRecorder
+
+                self.lifecycle = LifecycleRecorder(capacity=capacity)
             self.lifecycle.clock = lambda: self.now_ns
             if self._runtime is not None:
                 self._runtime._flight = self.lifecycle
         return self.lifecycle
+
+    # ------------------------------------------------------------------
+    # batch-aware pipeline (see repro.obs.batch)
+    # ------------------------------------------------------------------
+    @property
+    def batch_capable(self) -> bool:
+        """Whether the vector engine may retire hit runs in bulk under
+        this telemetry.
+
+        True unless a per-access consumer is attached: the windows,
+        digests, histograms, spans and counter tracks all observe only
+        on scalar-side events (misses and window boundaries), so the
+        only instrument that can object is a full lifecycle ring
+        (`gmt-why`'s unsampled default).
+        """
+        from repro.obs.batch import is_batch_capable
+
+        return self.lifecycle is None or is_batch_capable(self.lifecycle)
+
+    def batch_observer(self):
+        """The per-batch observer chain the vector engine drives
+        (None when an attached instrument is not batch-capable — the
+        engine then falls back to the scalar loop)."""
+        if not self.batch_capable:
+            return None
+        from repro.obs.batch import BatchObserverChain, WindowBatchObserver
+
+        return BatchObserverChain([WindowBatchObserver(self.snapshotter)])
 
     # ------------------------------------------------------------------
     # virtual clock

@@ -238,7 +238,18 @@ class Dashboard:
 
     # ------------------------------------------------------------------
     def finish(self) -> str:
-        """End-of-run summary line (printed after the last frame)."""
+        """End-of-run summary line (printed after the last frame).
+
+        First flushes the telemetry's final partial window — everything
+        after the last full interval boundary — so it renders as a
+        frame/line too.  ``GMTRuntime.run`` (both engines) already
+        flushes at end-of-run, in which case this is a no-op; the
+        explicit flush covers drivers that iterate access-by-access and
+        never call ``run`` (``Telemetry.finish`` is idempotent).
+        """
+        finish = getattr(self.telemetry, "finish", None)
+        if finish is not None:
+            finish()
         summary = (
             f"{self.frames} windows rendered, {len(self.anomalies)} anomalies"
         )

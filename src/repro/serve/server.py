@@ -62,6 +62,12 @@ class TenantResult:
     #: latency (None = telemetry was not attached / tenant never missed).
     latency_p50_ns: float | None = None
     latency_p99_ns: float | None = None
+    #: Same percentiles from the tenant's *solo* baseline replay (None =
+    #: solos skipped, telemetry off, or the solo never missed).  Solo
+    #: replays ride the vector engine where eligible — the digest is
+    #: miss-side and therefore batch-capable.
+    solo_latency_p50_ns: float | None = None
+    solo_latency_p99_ns: float | None = None
     #: SLO targets from the tenant's spec (None = no target set).
     slo_p50_ns: float | None = None
     slo_p99_ns: float | None = None
@@ -307,6 +313,10 @@ class TenantServer:
         # namespaced page ids (tenant << 32) exceed the vector store's
         # dense capacity anyway.
         self.engine = engine
+        #: Live engine resolution of each solo baseline replay, keyed by
+        #: tenant index (filled by :meth:`solo_run`) — the surface
+        #: ``gmt-serve`` prints and the ledger records.
+        self.solo_resolutions: dict[int, tuple[str, str]] = {}
         # Per-tenant policy resolution: the tenant's spec wins, then the
         # server-wide default.  All-None at a tier keeps that tier's
         # single shared structure (exact pre-zoo replay).
@@ -329,6 +339,19 @@ class TenantServer:
     def attach_telemetry(self, telemetry=None):
         """Attach tenant-labelling telemetry to the shared runtime."""
         return self.runtime.attach_telemetry(telemetry)
+
+    def engine_resolution(self) -> tuple[str, str]:
+        """Resolved engine of the *shared* multiplexed runtime.
+
+        Always scalar today; the reason explains why, mirroring
+        ``GMTRuntime.engine_resolution()`` so CLIs and the ledger treat
+        served and solo runs uniformly.  Solo replays resolve per stream
+        — see :attr:`solo_resolutions`.
+        """
+        return (
+            "scalar",
+            "shared multi-tenant hierarchy switches tenant context per access",
+        )
 
     def tenant_registries(self, prefix: str = "gmt_") -> list:
         """Per-tenant metric registries (constant label ``tenant=<name>``).
@@ -423,8 +446,27 @@ class TenantServer:
             # zero-warp stream) still gets a completion stamp.
             finish_ns.setdefault(stream.index, result.elapsed_ns)
         tenants: list[TenantResult] = []
+        solo_digests: dict[int, object] = {}
         if solo_ns is None and solo_baselines:
-            solo_ns = {s.index: self.solo_run(s).elapsed_ns for s in self.streams}
+            solo_ns = {}
+            for s in self.streams:
+                solo_telemetry = None
+                if runtime._obs is not None:
+                    # The served run is instrumented: instrument the solo
+                    # baselines too, so per-tenant latency digests exist
+                    # for both sides of the slowdown comparison.  The
+                    # digest observes misses only, so the solo still
+                    # rides the vector engine where eligible.
+                    from repro.obs import Telemetry
+
+                    solo_telemetry = Telemetry(
+                        labels={"runtime": f"solo-{s.name}", "tenant": s.name}
+                    )
+                solo_ns[s.index] = self.solo_run(
+                    s, telemetry=solo_telemetry
+                ).elapsed_ns
+                if solo_telemetry is not None:
+                    solo_digests[s.index] = solo_telemetry.latency_digest
         for stream in self.streams:
             idx = stream.index
             quotas = runtime.quotas
@@ -441,6 +483,16 @@ class TenantServer:
                     solo_ns=None if solo_ns is None else solo_ns.get(idx),
                     latency_p50_ns=digest.p50 if digest.count else None,
                     latency_p99_ns=digest.p99 if digest.count else None,
+                    solo_latency_p50_ns=(
+                        solo_digests[idx].p50
+                        if idx in solo_digests and solo_digests[idx].count
+                        else None
+                    ),
+                    solo_latency_p99_ns=(
+                        solo_digests[idx].p99
+                        if idx in solo_digests and solo_digests[idx].count
+                        else None
+                    ),
                     slo_p50_ns=stream.spec.slo_p50_ns,
                     slo_p99_ns=stream.spec.slo_p99_ns,
                     peak_tier1=runtime.tier1.peak_owner_count(idx),
@@ -470,14 +522,17 @@ class TenantServer:
             ssd_busy_ns=runtime.ssd.busy_time_ns(),
         ).elapsed_ns
 
-    def solo_run(self, stream: TenantStream) -> RunResult:
+    def solo_run(self, stream: TenantStream, telemetry=None) -> RunResult:
         """Replay one tenant's stream alone on a fresh, unshared runtime.
 
         Engine selection honours :attr:`engine` (then ``config.engine``)
         via :func:`repro.core.factory.make_runtime` — except for tenants
         beyond index 0, whose namespaced page ids (``index << 32``) exceed
         the vector store's dense page-id capacity and therefore always
-        replay scalar.
+        replay scalar.  ``telemetry`` (a :class:`~repro.obs.Telemetry`)
+        is attached before the replay; batch-capable telemetry — per-
+        tenant latency digests included — keeps the solo on the vector
+        engine.  The live resolution lands in :attr:`solo_resolutions`.
         """
         from repro.core.factory import make_runtime
 
@@ -485,6 +540,13 @@ class TenantServer:
         if stream.index > 0:
             engine = "scalar"
         runtime = make_runtime(
-            self.config, engine=engine, policy_factory=self._policy_factory
+            self.config,
+            engine=engine,
+            policy_factory=self._policy_factory,
+            telemetry=telemetry is not None,
         )
-        return runtime.run(iter(stream))
+        if telemetry is not None:
+            runtime.attach_telemetry(telemetry)
+        result = runtime.run(iter(stream))
+        self.solo_resolutions[stream.index] = runtime.engine_resolution()
+        return result

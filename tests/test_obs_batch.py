@@ -1,0 +1,262 @@
+"""Batch-aware telemetry: byte-identity of instrumented runs across engines.
+
+The contract under test (docs/observability.md): windowed snapshots,
+latency-digest state, Perfetto counter tracks, anomaly findings and the
+*sampled* lifecycle stream are byte-identical between the scalar
+reference loop and the vector engine — on any trace, under any policy,
+with batches deliberately straddling window boundaries (small prime
+intervals).  The unit tests pin the negotiation surface: batch
+capability, the window batch observer's boundary cap, bulk digest
+observation, sampled-lifecycle admission, engine resolution reasons and
+the ``window-desync`` self-test.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GMTConfig
+from repro.core.factory import make_runtime, resolve_engine_reason
+from repro.errors import ConfigError
+from repro.obs import Telemetry
+from repro.obs.anomaly import AnomalyDetector
+from repro.obs.batch import (
+    BatchObserverChain,
+    SampledLifecycleRecorder,
+    WindowBatchObserver,
+    is_batch_capable,
+)
+from repro.obs.digest import LatencyDigest
+from repro.obs.export import counter_track_events
+from repro.obs.lifecycle import LifecycleRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.snapshots import WindowedSnapshotter
+from repro.sim.gpu import WarpAccess
+
+N_PAGES = 48  # footprint; tier1=8 frames forces heavy eviction traffic
+
+
+def small_config(**overrides):
+    return GMTConfig(tier1_frames=8, tier2_frames=16, **overrides)
+
+
+def make_trace(warps):
+    return [WarpAccess(pages=tuple(pages), write=write) for pages, write in warps]
+
+
+def instrumented_run(config, trace, engine, window, sample_rate=None):
+    runtime = make_runtime(config, engine=engine, telemetry=True)
+    telemetry = Telemetry(window=window, lifecycle_sample_rate=sample_rate)
+    runtime.attach_telemetry(telemetry)
+    result = runtime.run(trace)
+    return result, telemetry
+
+
+def telemetry_surfaces(telemetry):
+    """Every surface the parity contract covers, as comparable values."""
+    windows = telemetry.windows()
+    return {
+        "windows": windows,
+        "digest": telemetry.latency_digest.to_dict(),
+        "counter-tracks": counter_track_events(0, windows),
+        "anomalies": [str(a) for a in AnomalyDetector().scan(windows)],
+    }
+
+
+warp_lists = st.lists(
+    st.tuples(
+        st.lists(
+            st.integers(min_value=0, max_value=N_PAGES - 1),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestEngineTelemetryParity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        warps=warp_lists,
+        policy=st.sampled_from(["tier-order", "random", "reuse"]),
+        window=st.sampled_from([3, 7, 13]),  # primes: batches straddle cuts
+        prefetch=st.sampled_from([0, 2]),
+    )
+    def test_all_surfaces_byte_identical(self, warps, policy, window, prefetch):
+        trace = make_trace(warps)
+        config = small_config(
+            prefetch_degree=prefetch, footprint_pages=N_PAGES
+        ).with_policy(policy)
+        r_s, t_s = instrumented_run(config, trace, "scalar", window)
+        r_v, t_v = instrumented_run(config, trace, "vector", window)
+        assert r_s.elapsed_ns == r_v.elapsed_ns
+        for counter in type(r_s.stats).counter_names():
+            assert getattr(r_s.stats, counter) == getattr(r_v.stats, counter), counter
+        s_surfaces, v_surfaces = telemetry_surfaces(t_s), telemetry_surfaces(t_v)
+        for surface in s_surfaces:
+            assert s_surfaces[surface] == v_surfaces[surface], surface
+
+    @settings(max_examples=10, deadline=None)
+    @given(warps=warp_lists, window=st.sampled_from([5, 11]))
+    def test_sampled_lifecycle_stream_engine_independent(self, warps, window):
+        trace = make_trace(warps)
+        config = small_config()
+        _, t_s = instrumented_run(config, trace, "scalar", window, sample_rate=0.5)
+        _, t_v = instrumented_run(config, trace, "vector", window, sample_rate=0.5)
+        assert list(t_s.lifecycle.events()) == list(t_v.lifecycle.events())
+
+    def test_vector_flushes_final_partial_window(self):
+        # 25 coalesced accesses at interval 10: windows at 10 and 20 plus
+        # the flushed tail at 25, identically under both engines.
+        trace = make_trace([((i % N_PAGES,), False) for i in range(25)])
+        _, t_s = instrumented_run(small_config(), trace, "scalar", 10)
+        _, t_v = instrumented_run(small_config(), trace, "vector", 10)
+        assert [w["position"] for w in t_v.windows()] == [10, 20, 25]
+        assert t_s.windows() == t_v.windows()
+
+
+class TestBatchPrimitives:
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e9, allow_nan=False),
+            max_size=200,
+        )
+    )
+    def test_observe_many_matches_observe_loop(self, values):
+        looped, bulk = LatencyDigest(), LatencyDigest()
+        for value in values:
+            looped.observe(value)
+        bulk.observe_many(values)
+        assert looped.to_dict() == bulk.to_dict()
+
+    def test_add_batch_cuts_one_window_per_boundary_crossed(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", help="")
+        snap = WindowedSnapshotter(registry, interval=10)
+        counter.inc(5)
+        cut = snap.add_batch(35)
+        assert [w["position"] for w in cut] == [10, 20, 30]
+        assert snap._last_position == 30
+        assert snap.add_batch(39) == []  # below the next boundary: no cut
+
+    def test_window_batch_observer_caps_before_boundary(self):
+        snap = WindowedSnapshotter(MetricsRegistry(), interval=10)
+        observer = WindowBatchObserver(snap)
+        # From position 0 a batch may retire 9 accesses; the 10th is the
+        # boundary access and must replay scalar.
+        assert observer.limit(0) == 9
+        assert observer.limit(9) == 0
+        observer.on_hits(9, 9)
+        assert snap.windows() == []  # capped batches never cut
+        snap.snapshot(10)
+        assert observer.limit(10) == 9  # clock restarts past the boundary
+
+    def test_chain_takes_most_restrictive_limit_and_fans_out(self):
+        class Fixed:
+            def __init__(self, limit):
+                self._limit = limit
+                self.seen = []
+
+            def limit(self, position):
+                return self._limit
+
+            def on_hits(self, count, position):
+                self.seen.append((count, position))
+
+        near, far = Fixed(3), Fixed(100)
+        chain = BatchObserverChain([near, None, far])
+        assert chain.limit(0) == 3
+        chain.on_hits(2, 5)
+        assert near.seen == far.seen == [(2, 5)]
+
+
+class TestCapabilityNegotiation:
+    def test_duck_typed_attribute(self):
+        assert not is_batch_capable(LifecycleRecorder())
+        assert not is_batch_capable(object())
+        assert is_batch_capable(SampledLifecycleRecorder(0.5))
+        assert is_batch_capable(WindowBatchObserver(
+            WindowedSnapshotter(MetricsRegistry(), interval=10)
+        ))
+
+    def test_telemetry_negotiates_on_lifecycle_kind(self):
+        assert Telemetry().batch_capable
+        assert Telemetry(lifecycle_sample_rate=0.25).batch_capable
+        assert not Telemetry(lifecycle=True).batch_capable
+
+    def test_sample_rate_validated(self):
+        for rate in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigError):
+                SampledLifecycleRecorder(rate)
+
+    def test_sampling_is_deterministic_and_page_complete(self):
+        a, b = SampledLifecycleRecorder(0.5), SampledLifecycleRecorder(0.5)
+        decisions = [a.sampled(page) for page in range(512)]
+        assert decisions == [b.sampled(page) for page in range(512)]
+        assert any(decisions) and not all(decisions)
+        # A different seed draws a different subset.
+        other = SampledLifecycleRecorder(0.5, seed=1)
+        assert decisions != [other.sampled(page) for page in range(512)]
+
+
+class TestEngineResolution:
+    def test_reasons(self):
+        config = small_config()
+        assert resolve_engine_reason("scalar", config) == (
+            "scalar", "engine='scalar' requested explicitly"
+        )
+        assert resolve_engine_reason(None, config) == (
+            "vector", "auto: no per-access consumers"
+        )
+        assert resolve_engine_reason(None, config, telemetry=True) == (
+            "vector", "auto: telemetry is batch-capable"
+        )
+        engine, reason = resolve_engine_reason(None, config, recorder=True)
+        assert engine == "scalar" and "per-access recorder" in reason
+        engine, reason = resolve_engine_reason(
+            None, config, checks=True, telemetry=True
+        )
+        assert engine == "scalar" and "conformance" in reason
+        zoo = small_config(tier1_eviction="s3fifo")
+        engine, reason = resolve_engine_reason(None, zoo, telemetry=True)
+        assert engine == "scalar" and "s3fifo" in reason
+
+    def test_runtime_reports_live_resolution(self):
+        trace = make_trace([((i % N_PAGES,), False) for i in range(40)])
+        runtime = make_runtime(small_config(), engine="vector", telemetry=True)
+        runtime.attach_telemetry(Telemetry(window=10))
+        runtime.run(trace)
+        engine, reason = runtime.engine_resolution()
+        assert engine == "vector"
+        assert "batch-capable" in reason
+        demoted = make_runtime(small_config(), engine="vector")
+        demoted.attach_telemetry(Telemetry(window=10, lifecycle=True))
+        demoted.run(trace)
+        engine, reason = demoted.engine_resolution()
+        assert engine == "scalar"
+        assert "flight recorder" in reason
+
+
+class TestWindowDesyncSelfTest:
+    def test_injection_is_caught_and_clean_runs_pass(self):
+        from repro.check.differential import (
+            _inject_window_desync,
+            check_telemetry_parity,
+        )
+
+        trace = make_trace(
+            [((i % N_PAGES, (i * 7) % N_PAGES), i % 3 == 0) for i in range(90)]
+        )
+        config = small_config()
+        clean, note = check_telemetry_parity("tier-order", config, trace, window=13)
+        assert clean == [] and note is None
+        violations, note = check_telemetry_parity(
+            "tier-order", config, trace, window=13, corrupt=_inject_window_desync
+        )
+        assert violations
+        assert note is not None and "shifted" in note
+        assert all(v.identity == "telemetry-parity" for v in violations)

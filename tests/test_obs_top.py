@@ -149,6 +149,37 @@ class TestDashboard:
         with pytest.raises(ConfigError):
             Dashboard(Telemetry(), title="t", tier1_capacity=0, tier2_capacity=4)
 
+    def test_finish_flushes_final_partial_window(self):
+        # Drive the runtime access-by-access (no run(), so no automatic
+        # end-of-run flush): the tail after the last window boundary must
+        # still render, via Dashboard.finish's explicit flush.
+        from repro.experiments.harness import build_runtime, default_config, get_workload
+
+        config = default_config(16384)
+        workload = get_workload("hotspot", config, oversubscription=2.0, seed=0)
+        runtime = build_runtime("reuse", config)
+        telemetry = runtime.attach_telemetry(Telemetry(window=499))
+        stream = io.StringIO()
+        dash = Dashboard(
+            telemetry,
+            title="t",
+            tier1_capacity=config.tier1_frames,
+            tier2_capacity=config.tier2_frames,
+            stream=stream,
+            plain=True,
+        ).attach()
+        for warp in workload:
+            runtime.access_warp(warp)
+        before = [l for l in stream.getvalue().splitlines() if l]
+        summary = dash.finish()
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == len(before) + 1  # the partial tail rendered
+        assert len(lines) == len(telemetry.windows()) == dash.frames
+        assert "windows rendered" in summary
+        # Idempotent: a second finish cuts nothing new.
+        dash.finish()
+        assert len(telemetry.windows()) == len(lines)
+
 
 class TestCLI:
     def test_single_workload_plain(self, capsys):
