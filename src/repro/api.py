@@ -30,7 +30,12 @@ be reshaped without notice; prefer these re-exports over deep imports.
 - Engine: :class:`Cell`, :class:`Engine`, :class:`ResultCache`,
   :func:`run_cells` — the parallel, cache-aware executor behind the CLI.
 - Serving: :func:`serve` — one call from workload names to a
-  :class:`~repro.serve.server.ServeResult`.
+  :class:`~repro.serve.server.ServeResult` — and the open-loop surface:
+  :func:`serve_open_loop`, :class:`OpenLoopServer`,
+  :class:`OpenLoopConfig`, :class:`OpenLoopResult`,
+  :class:`TenantPopulation` (zipf-skewed synthetic fleets), and
+  :func:`make_arrival_process` (seeded Poisson/bursty arrival
+  processes) — see ``docs/serving.md``.
 - Conformance: :func:`run_conformance` (differential/metamorphic check
   over one trace, see ``gmt-check``), :func:`audit_runtime` /
   :func:`audit_stats` (post-run stats-identity audits, return
@@ -86,6 +91,13 @@ from repro.policyzoo import (
     make_eviction_policy,
 )
 from repro.prof import PhaseProfiler, profile, profile_replay
+from repro.serve import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    OpenLoopServer,
+    TenantPopulation,
+    make_arrival_process,
+)
 from repro.sim import PlatformModel
 
 #: The configuration type under its role name.  ``RuntimeConfig`` is the
@@ -105,6 +117,7 @@ def serve(
     governor: GovernorConfig | None = None,
     solo_baselines: bool = True,
     engine: str | None = None,
+    epoch: int = 1,
 ):
     """Serve a tenant mix on one shared hierarchy; returns a ``ServeResult``.
 
@@ -129,6 +142,8 @@ def serve(
         engine: replay engine for the solo baselines
             (:data:`ENGINE_NAMES`); the shared multiplexed runtime always
             replays scalar.  Defaults to ``config.engine``.
+        epoch: warps emitted per scheduling decision (1 = the
+            historical per-warp interleave, byte-identical).
     """
     from repro.serve import TenantServer, build_tenants
 
@@ -144,8 +159,50 @@ def serve(
         tier2_policy=tier2_policy,
         governor=governor,
         engine=engine,
+        epoch=epoch,
     )
     return server.run(solo_baselines=solo_baselines)
+
+
+def serve_open_loop(
+    tenants: int,
+    config: GMTConfig | None = None,
+    *,
+    scale: int = DEFAULT_SCALE,
+    loop: OpenLoopConfig | None = None,
+    seed: int = 0,
+    workload: str = "keyvalue",
+    slo_p50_ns: float | None = None,
+    slo_p99_ns: float | None = None,
+    quota=None,
+):
+    """Open-loop serve a zipf-skewed synthetic fleet; returns an
+    :class:`OpenLoopResult`.
+
+    Args:
+        tenants: population size (each tenant gets a seeded synthetic
+            workload with a zipf-skewed footprint and arrival share).
+        config: hierarchy configuration; defaults to
+            ``default_config(scale)``.
+        scale: byte-scale divisor used when ``config`` is omitted.
+        loop: the open-loop knobs (:class:`OpenLoopConfig`): arrival
+            process and rate, request count, epoch, admission control.
+        seed: population seed (workloads, footprints, weights).
+        workload: synthetic workload registry name per tenant.
+        slo_p50_ns / slo_p99_ns: per-tenant request-latency SLO targets.
+        quota: optional :class:`~repro.serve.quota.QuotaConfig`.
+    """
+    if config is None:
+        config = default_config(scale)
+    population = TenantPopulation(
+        tenants,
+        seed=seed,
+        workload=workload,
+        slo_p50_ns=slo_p50_ns,
+        slo_p99_ns=slo_p99_ns,
+    )
+    server = OpenLoopServer(config, population, loop, quota=quota)
+    return server.run()
 
 
 __all__ = [
@@ -170,6 +227,9 @@ __all__ = [
     "HmmRuntime",
     "LatencyDigest",
     "MigrationGovernor",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "OpenLoopServer",
     "PartitionedPolicy",
     "PhaseProfiler",
     "PlatformModel",
@@ -177,12 +237,14 @@ __all__ = [
     "RunResult",
     "RuntimeConfig",
     "RuntimeStats",
+    "TenantPopulation",
     "Violation",
     "assert_conformant",
     "audit_runtime",
     "audit_stats",
     "default_config",
     "get_spec",
+    "make_arrival_process",
     "make_eviction_policy",
     "make_runtime",
     "profile",
@@ -197,4 +259,5 @@ __all__ = [
     "run_spec",
     "scan_trend",
     "serve",
+    "serve_open_loop",
 ]

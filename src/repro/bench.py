@@ -94,6 +94,20 @@ ENGINE_CELLS: tuple[dict, ...] = (
     },
 )
 
+#: Open-loop serving cell: a 1k-tenant zipf fleet under Poisson arrivals
+#: with admission control — the ``capacity`` experiment's knee point,
+#: recorded as one informational cell (``serve/openloop-1k``) so the
+#: baseline documents service-scale throughput and shed behaviour.
+#: Presence is gated, the metrics are not (wall-clock dependent, and the
+#: admission trajectory may shift as pressure thresholds are tuned).
+OPENLOOP_CELL: dict = {
+    "id": "serve/openloop-1k",
+    "tenants": 1024,
+    "requests": 4096,
+    "arrival_rate_per_s": 65536.0,
+    "max_backlog": 256,
+}
+
 #: Deterministic per-cell metrics captured from the replay.  Checked
 #: with the strict tolerance.
 SIM_METRICS = (
@@ -188,6 +202,51 @@ def run_cell(
     return record
 
 
+def run_openloop_cell(scale: int, seed: int, spec: dict) -> dict:
+    """Serve one open-loop fleet cell and return its metric record.
+
+    Drives :class:`~repro.serve.openloop.OpenLoopServer` over a
+    :class:`~repro.serve.stream.TenantPopulation` of ``spec["tenants"]``
+    synthetic tenants and reports the serving-side metrics (arrivals,
+    shed, request p99) alongside the usual replay counters.  Audited
+    like every other cell — ``admission-conservation`` included.
+    """
+    from repro.check.identities import assert_conformant
+    from repro.experiments.harness import default_config
+    from repro.serve import OpenLoopConfig, OpenLoopServer, TenantPopulation
+
+    config = default_config(scale)
+    population = TenantPopulation(spec["tenants"], seed=seed)
+    loop = OpenLoopConfig(
+        requests=spec["requests"],
+        arrival_rate_per_s=spec["arrival_rate_per_s"],
+        seed=seed,
+        max_backlog=spec.get("max_backlog"),
+    )
+    server = OpenLoopServer(config, population, loop)
+    start = _clock()
+    outcome = server.run()
+    wall_s = _clock() - start
+    assert_conformant(server.runtime)
+    stats = server.runtime.stats
+    accesses = stats.coalesced_accesses
+    return {
+        "engine": server.engine_resolution()[0],
+        "elapsed_ns": float(outcome.makespan_ns),
+        "ssd_io_bytes": float(stats.io_bytes(config.page_size)),
+        "t1_hits": float(stats.t1_hits),
+        "t1_misses": float(stats.t1_misses),
+        "ssd_page_reads": float(stats.ssd_page_reads),
+        "ssd_page_writes": float(stats.ssd_page_writes),
+        "requests_arrived": float(outcome.arrived),
+        "requests_shed": float(outcome.shed),
+        "shed_rate": outcome.shed_rate,
+        **({"req_p99_ns": outcome.p99_ns} if outcome.p99_ns is not None else {}),
+        "wall_s": wall_s,
+        "accesses_per_sec": accesses / wall_s if wall_s > 0 else 0.0,
+    }
+
+
 def run_bench(
     cells: tuple[tuple[str, str], ...] = DEFAULT_CELLS,
     scale: int = 4096,
@@ -195,6 +254,7 @@ def run_bench(
     zoo: tuple[tuple[str, str, str], ...] = (),
     engine_cells: tuple[dict, ...] = (),
     engine: str | None = None,
+    openloop_cells: tuple[dict, ...] = (),
 ) -> dict:
     """Replay every cell; returns the baseline document (JSON-ready).
 
@@ -210,6 +270,9 @@ def run_bench(
     ``engine`` overrides the replay engine of the *gated* cells (default
     scalar, the reference loop — keeps the wall budgets comparable
     across baselines).
+
+    ``openloop_cells`` specs (the CLI passes ``(OPENLOOP_CELL,)``) are
+    open-loop serving runs recorded as informational cells.
     """
     doc = {
         "version": BASELINE_VERSION,
@@ -242,6 +305,10 @@ def run_bench(
             )
             record["informational"] = True
             doc["cells"][f"{spec['id']}@{eng}"] = record
+    for spec in openloop_cells:
+        record = run_openloop_cell(scale, seed, spec)
+        record["informational"] = True
+        doc["cells"][spec["id"]] = record
     return doc
 
 
@@ -409,6 +476,7 @@ def main(argv: list[str] | None = None) -> int:
                     for spec in ENGINE_CELLS
                     for eng in ("scalar", "vector")
                 ]
+                + [OPENLOOP_CELL["id"]]
             ),
             "scale": args.scale,
             "seed": args.seed,
@@ -436,6 +504,7 @@ def main(argv: list[str] | None = None) -> int:
         zoo=ZOO_CELLS,
         engine_cells=ENGINE_CELLS,
         engine=args.engine,
+        openloop_cells=(OPENLOOP_CELL,),
     )
     width = max(len(cell) for cell in doc["cells"])
     for cell, record in doc["cells"].items():

@@ -62,6 +62,11 @@ CATALOG: tuple[tuple[str, str], ...] = (
     ("prediction-accounting",
      "correct_predictions <= resolved_predictions and the confusion "
      "matrix sums to resolved_predictions"),
+    ("admission-conservation",
+     "open-loop serving: requests_arrived == requests_admitted + "
+     "requests_shed, and requests_completed <= requests_admitted (every "
+     "arrival is admitted or shed, nothing else completes) — all four "
+     "are zero outside an open-loop run"),
     ("counter-positivity",
      "every counter is >= 0"),
     ("structural",
@@ -226,6 +231,19 @@ def audit_stats(stats: RuntimeStats) -> list[Violation]:
         sum(stats.confusion.values()),
         stats.resolved_predictions,
         "confusion-matrix total vs resolved_predictions",
+    )
+    a.equal(
+        "admission-conservation",
+        stats.requests_arrived,
+        stats.requests_admitted + stats.requests_shed,
+        f"requests_arrived vs requests_admitted({stats.requests_admitted}) "
+        f"+ requests_shed({stats.requests_shed})",
+    )
+    a.require(
+        "admission-conservation",
+        stats.requests_completed <= stats.requests_admitted,
+        f"requests_completed({stats.requests_completed}) > "
+        f"requests_admitted({stats.requests_admitted})",
     )
     for name in stats.counter_names():
         value = getattr(stats, name)

@@ -389,11 +389,96 @@ def _parse_tenants(spec: str) -> list:
     return specs
 
 
+def _serve_open_loop(args, config) -> int:
+    """``gmt-serve --open-loop N``: the open-loop service simulator."""
+    from repro.check.identities import assert_conformant, audit_split
+    from repro.errors import ConformanceError
+    from repro.serve import OpenLoopConfig, OpenLoopServer, TenantPopulation
+
+    population = TenantPopulation(
+        args.open_loop,
+        seed=args.seed,
+        workload=args.population_workload,
+        slo_p50_ns=args.slo_p50,
+        slo_p99_ns=args.slo_p99,
+    )
+    loop = OpenLoopConfig(
+        requests=args.requests,
+        arrival_process=args.arrival_process,
+        arrival_rate_per_s=args.arrival_rate,
+        epoch=args.epoch if args.epoch is not None else 8,
+        seed=args.seed,
+        max_backlog=args.max_backlog,
+    )
+    server = OpenLoopServer(config, population, loop)
+    if args.check_every is not None:
+        server.runtime.enable_periodic_checks(args.check_every)
+    import time as _time
+
+    wall_start = _time.perf_counter()
+    outcome = server.run()
+    wall_s = _time.perf_counter() - wall_start
+    assert_conformant(server.runtime)
+    violations = audit_split(server.runtime.stats, server.runtime.tenant_stats)
+    if violations:
+        raise ConformanceError(violations)
+    print(outcome.to_table())
+    engine, reason = server.engine_resolution()
+    print(f"engine={engine} (reason={reason})")
+    if not args.no_ledger:
+        from repro.obs.ledger import record_run
+
+        stats = server.runtime.stats
+        record_run(
+            "gmt-serve",
+            wall_s=wall_s,
+            engine=engine,
+            params={
+                "mode": "open-loop",
+                "tenants": args.open_loop,
+                "workload": args.population_workload,
+                "arrival_process": args.arrival_process,
+                "arrival_rate_per_s": args.arrival_rate,
+                "requests": args.requests,
+                "max_backlog": args.max_backlog,
+                "epoch": loop.epoch,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+            accesses_per_sec=(
+                stats.coalesced_accesses / wall_s if wall_s > 0 else 0.0
+            ),
+            metrics={
+                "makespan_ns": outcome.makespan_ns,
+                "requests_arrived": outcome.arrived,
+                "requests_admitted": outcome.admitted,
+                "requests_shed": outcome.shed,
+                "requests_completed": outcome.completed,
+                "shed_rate": outcome.shed_rate,
+                "pressure_findings": outcome.pressure_findings,
+                **(
+                    {"req_p99_ns": outcome.p99_ns}
+                    if outcome.p99_ns is not None
+                    else {}
+                ),
+            },
+            anomalies=outcome.pressure_findings,
+        )
+    return 0
+
+
 def main_serve(argv: list[str] | None = None) -> int:
     """Entry point for ``gmt-serve``."""
     from repro.core.config import POLICY_NAMES
     from repro.policyzoo import EVICTION_POLICY_NAMES, GovernorConfig, policy_summary
-    from repro.serve import QUOTA_MODES, SCHEDULER_NAMES, QuotaConfig, TenantServer, build_tenants
+    from repro.serve import (
+        ARRIVAL_PROCESS_NAMES,
+        QUOTA_MODES,
+        SCHEDULER_NAMES,
+        QuotaConfig,
+        TenantServer,
+        build_tenants,
+    )
 
     zoo_lines = "\n".join(
         f"  {name:<8} {summary}" for name, summary in policy_summary()
@@ -411,10 +496,65 @@ def main_serve(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--tenants",
-        required=True,
+        default=None,
         metavar="W1[:WEIGHT],W2[:WEIGHT],...",
         help="comma-separated Table 2 workloads, optionally weighted "
-        "(e.g. bfs,pagerank:2,hotspot)",
+        "(e.g. bfs,pagerank:2,hotspot); required unless --open-loop",
+    )
+    parser.add_argument(
+        "--epoch",
+        type=int,
+        metavar="N",
+        default=None,
+        help="warps emitted per scheduling decision (closed-loop default "
+        "1 = the historical per-warp interleave; open-loop default 8)",
+    )
+    openloop = parser.add_argument_group(
+        "open-loop serving (Poisson/bursty arrivals + admission control)"
+    )
+    openloop.add_argument(
+        "--open-loop",
+        type=int,
+        metavar="TENANTS",
+        default=None,
+        help="serve an open-loop zipf-skewed population of TENANTS "
+        "synthetic tenants instead of a closed-loop --tenants mix",
+    )
+    openloop.add_argument(
+        "--arrival-process",
+        default="poisson",
+        choices=list(ARRIVAL_PROCESS_NAMES),
+        help="open-loop arrival process (default: poisson)",
+    )
+    openloop.add_argument(
+        "--arrival-rate",
+        type=float,
+        metavar="REQ_PER_S",
+        default=2000.0,
+        help="aggregate arrival rate in requests per simulated second "
+        "(default 2000)",
+    )
+    openloop.add_argument(
+        "--requests",
+        type=int,
+        metavar="N",
+        default=1024,
+        help="total open-loop requests to simulate (default 1024)",
+    )
+    openloop.add_argument(
+        "--max-backlog",
+        type=int,
+        metavar="N",
+        default=None,
+        help="shed arrivals once this many requests are queued "
+        "(default: unbounded; pressure anomalies still shed)",
+    )
+    openloop.add_argument(
+        "--population-workload",
+        default="keyvalue",
+        metavar="NAME",
+        help="synthetic workload every population tenant runs "
+        "(default: keyvalue)",
     )
     parser.add_argument(
         "--policy",
@@ -539,9 +679,14 @@ def main_serve(argv: list[str] | None = None) -> int:
     _add_anomaly_flags(parser)
     args = parser.parse_args(argv)
 
+    if args.open_loop is None and args.tenants is None:
+        parser.error("--tenants is required (or use --open-loop TENANTS)")
+
     config = default_config(
         args.scale, platform=get_platform(args.platform), policy=args.policy
     )
+    if args.open_loop is not None:
+        return _serve_open_loop(args, config)
     specs = _parse_tenants(args.tenants)
     if args.slo_p50 is not None or args.slo_p99 is not None:
         from dataclasses import replace
@@ -572,6 +717,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         tier2_policy=args.tier2_policy,
         governor=governor,
         engine=args.engine,
+        epoch=args.epoch if args.epoch is not None else 1,
     )
     if args.check_every is not None:
         server.runtime.enable_periodic_checks(args.check_every)
@@ -644,6 +790,7 @@ def main_serve(argv: list[str] | None = None) -> int:
                 ),
                 "tenants": sorted(s.workload for s in specs),
                 "discipline": args.discipline,
+                "epoch": args.epoch if args.epoch is not None else 1,
                 "quotas": args.quotas,
                 "policy": args.policy,
                 "tier1_policy": args.tier1_policy or "clock",

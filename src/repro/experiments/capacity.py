@@ -1,0 +1,144 @@
+"""Capacity experiment: tenants-per-GPU vs p99 latency and shed rate.
+
+The repo's capacity-planning headline.  A zipf-skewed
+:class:`~repro.serve.stream.TenantPopulation` is swept over fleet sizes
+— 64 up to 2048 tenants on one shared hierarchy — under an open-loop
+Poisson request stream whose aggregate rate scales with the fleet, so
+per-tenant demand is constant and the only moving part is contention.
+Each point reports:
+
+- request-latency p50/p99 (completion − arrival on the simulated clock),
+- the shed rate (arrivals rejected by admission control: the pressure
+  detector plus a fixed backlog cap),
+- tenants violating the fleet p99 SLO,
+- the ``admission-conservation`` identity inputs (arrived = admitted +
+  shed), audited per cell before the result is accepted.
+
+Every cell is deterministic in its seed: same command, same table, and
+a warm cache re-executes nothing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult, default_config
+from repro.experiments.engine import Cell
+from repro.experiments.spec import ExperimentSpec
+from repro.units import format_time
+
+#: Fleet sizes swept (the acceptance point is the >= 1k-tenant row).
+TENANT_COUNTS = (64, 256, 1024, 2048)
+
+#: Per-tenant open-loop demand (requests per simulated second); the
+#: aggregate arrival rate is this times the fleet size.
+RATE_PER_TENANT = 64.0
+
+#: Arrivals simulated per tenant (more = tighter percentiles, slower).
+REQUESTS_PER_TENANT = 4
+
+#: Admission backlog cap (requests queued machine-wide).
+MAX_BACKLOG = 256
+
+#: Fleet-wide p99 request-latency SLO (ns) for the violation column.
+SLO_P99_NS = 5_000_000.0
+
+
+def capacity_cell(config, tenants: int, seed: int) -> dict:
+    """Cell body: one open-loop fleet-size point, reduced to scalars."""
+    from repro.check.identities import assert_conformant, audit_split
+    from repro.errors import ConformanceError
+    from repro.serve import OpenLoopConfig, OpenLoopServer, TenantPopulation
+
+    population = TenantPopulation(tenants, seed=seed, slo_p99_ns=SLO_P99_NS)
+    loop = OpenLoopConfig(
+        requests=REQUESTS_PER_TENANT * tenants,
+        arrival_rate_per_s=RATE_PER_TENANT * tenants,
+        seed=seed,
+        max_backlog=MAX_BACKLOG,
+    )
+    server = OpenLoopServer(config, population, loop)
+    outcome = server.run()
+    assert_conformant(server.runtime)  # admission-conservation included
+    violations = audit_split(server.runtime.stats, server.runtime.tenant_stats)
+    if violations:
+        raise ConformanceError(violations)
+    return {
+        "tenants": tenants,
+        "arrived": outcome.arrived,
+        "admitted": outcome.admitted,
+        "shed": outcome.shed,
+        "completed": outcome.completed,
+        "shed_rate": outcome.shed_rate,
+        "p50_ns": outcome.p50_ns,
+        "p99_ns": outcome.p99_ns,
+        "makespan_ns": outcome.makespan_ns,
+        "slo_violating": outcome.slo_violating_tenants(),
+        "pressure_findings": outcome.pressure_findings,
+    }
+
+
+def _cell(config, tenants: int) -> Cell:
+    return Cell.make(
+        "repro.experiments.capacity:capacity_cell",
+        label=f"capacity/{tenants}t",
+        config=config,
+        tenants=tenants,
+        seed=0,
+    )
+
+
+def _cells(scale):
+    config = default_config(scale)
+    return [_cell(config, n) for n in TENANT_COUNTS]
+
+
+def _reduce(results, scale):
+    config = default_config(scale)
+    headers = [
+        "tenants", "arrivals", "admitted", "shed", "shed rate",
+        "req p50", "req p99", "SLO p99 viol.", "makespan",
+    ]
+    rows: list[list[object]] = []
+    points = []
+    for tenants in TENANT_COUNTS:
+        record = results[_cell(config, tenants)]
+        points.append(record)
+        rows.append(
+            [
+                record["tenants"],
+                record["arrived"],
+                record["admitted"],
+                record["shed"],
+                f"{record['shed_rate']:.1%}",
+                "-" if record["p50_ns"] is None else format_time(record["p50_ns"]),
+                "-" if record["p99_ns"] is None else format_time(record["p99_ns"]),
+                f"{record['slo_violating']}/{record['tenants']}",
+                format_time(record["makespan_ns"]),
+            ]
+        )
+    notes = [
+        f"open-loop Poisson arrivals at {RATE_PER_TENANT:g} req/s per tenant, "
+        f"{REQUESTS_PER_TENANT} requests per tenant",
+        "request latency = completion - arrival on the simulated clock",
+        f"admission control: pressure anomalies + a {MAX_BACKLOG}-request "
+        "backlog cap; arrived == admitted + shed audited per cell",
+        f"SLO column: tenants whose request p99 exceeds "
+        f"{format_time(SLO_P99_NS)}",
+    ]
+    return [
+        ExperimentResult(
+            name="capacity",
+            title="Tenants per GPU: open-loop p99 and shed-rate capacity curves",
+            headers=headers,
+            rows=rows,
+            notes=notes,
+            extras={"points": points},
+        )
+    ]
+
+
+SPEC = ExperimentSpec(
+    name="capacity",
+    title="Open-loop tenants-per-GPU capacity curves",
+    cells=_cells,
+    reduce=_reduce,
+)

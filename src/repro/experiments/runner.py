@@ -42,6 +42,7 @@ EXPERIMENTS = (
     "extensions",
     "serve_mix",
     "isolation",
+    "capacity",
 )
 
 

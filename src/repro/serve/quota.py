@@ -203,9 +203,18 @@ class TierQuotas:
         return self._now - self._last_active[tenant] > self.config.idle_window
 
     def active_tenants(self) -> list[int]:
-        """Tenants currently considered active (dynamic-mode view)."""
-        active = [t for t in range(self.tenants) if not self._idle(t)]
-        return active or list(range(self.tenants))
+        """Tenants currently considered active (dynamic-mode view).
+
+        May be empty — e.g. after every stream drained.  An empty active
+        set means there is no one to donate the idle budgets *to*, and
+        every tenant keeps its static share.  (An earlier revision fell
+        back to "everyone is active" here, which let each tenant count
+        its *own* static share into the donated pool as well: a tenant
+        that drained exactly at the ``idle_window`` boundary was both an
+        idle donor and an active recipient, and the budgets summed to
+        roughly twice the tier's capacity.)
+        """
+        return [t for t in range(self.tenants) if not self._idle(t)]
 
     # -- budgets ---------------------------------------------------------
     def _budget(self, static: list[int], tenant: int) -> int:
@@ -215,6 +224,10 @@ class TierQuotas:
         if self.mode == "static":
             return base
         # dynamic: idle tenants' static budgets pool to the active set.
+        # Idle tenants — and everyone, when no tenant is active — keep
+        # their static share; only truly active tenants receive a cut of
+        # the idle pool, so the budgets of any disjoint donor/recipient
+        # split never sum past the tier's capacity.
         active = self.active_tenants()
         if tenant not in active:
             return base

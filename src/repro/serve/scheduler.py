@@ -9,25 +9,49 @@ concurrent clients.
 
 Three disciplines:
 
-- ``round-robin`` — one warp per live tenant per cycle; the classic
-  fair-share baseline.
-- ``weighted-fair`` — deficit-style fairness on *issued bytes*: each step
-  serves the live tenant with the smallest ``bytes_issued / weight``
-  virtual time, so a tenant with weight 2 streams twice the bytes of a
-  weight-1 peer over any window.
-- ``fifo`` — first-come-first-served batch scheduling: streams run to
-  completion in arrival order (ties broken by tenant index).  The
-  no-sharing control the fairness metrics are judged against.
+- ``round-robin`` — ``epoch`` warps per live tenant per cycle; the
+  classic fair-share baseline.
+- ``weighted-fair`` — deficit-style fairness on *issued bytes*: each
+  decision serves the live tenant with the smallest
+  ``bytes_issued / weight`` virtual time, so a tenant with weight 2
+  streams twice the bytes of a weight-1 peer over any window.
+- ``fifo`` — first-come-first-served batch scheduling: admitted streams
+  run to completion in arrival order (ties broken by tenant index).
+  The no-sharing control the fairness metrics are judged against.
 
 All disciplines honour ``TenantStream.arrival`` (measured in emitted
 warps): a stream is admitted once the schedule has emitted at least that
 many warps; if nothing else is runnable the next pending arrival is
-admitted early rather than stalling the machine.
+admitted early (*forced*) rather than stalling the machine.  Every
+admission — on-time or forced — is recorded in the scheduler's
+:attr:`~_EpochScheduler.admissions` log, so tests and the serving layer
+can audit the gate.  For FIFO the gate cannot reorder emissions (both
+on-time and forced admission pop the same arrival-sorted queue head), but
+the log makes the force-admissions visible instead of silently starting
+streams before their arrival.
+
+**Epoch batching** (``epoch`` warps per scheduling decision) amortises
+the per-warp decision cost when serving thousands of tenants: a picked
+tenant keeps the machine for up to ``epoch`` consecutive warps before
+the next decision.  ``epoch=1`` (the default) reproduces the historical
+per-warp behaviour byte-for-byte.  Pending arrivals are still checked
+between the warps of a batch, so a long epoch cannot delay an admission
+past its gate; under weighted-fair a batch also ends early as soon as a
+peer falls behind the batch owner's accrued virtual time.
+
+The weighted-fair discipline keeps a **monotonic global virtual clock**
+(the largest virtual time ever popped).  A late arrival is seeded at
+``max(clock, heap-min)`` — never below the clock — so a newcomer that
+finds the heap momentarily empty (mid-batch, or after the previous
+cohort drained) cannot restart at ``vt=0`` and monopolise the machine
+"catching up" on bytes it never issued.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ConfigError
@@ -43,6 +67,23 @@ def warp_bytes(warp: WarpAccess, page_size: int) -> int:
     return len(set(warp.pages)) * page_size
 
 
+@dataclass(frozen=True)
+class Admission:
+    """One stream's admission into the schedule (the gate audit trail).
+
+    Attributes:
+        tenant: the admitted stream's tenant index.
+        emitted: schedule-emitted warp count at the moment of admission.
+        forced: True when the stream was admitted *before* its arrival
+            because nothing else was runnable (idle machine — matching
+            ``_Pending.force_next`` semantics).
+    """
+
+    tenant: int
+    emitted: int
+    forced: bool
+
+
 class _Pending:
     """Arrival bookkeeping shared by the disciplines."""
 
@@ -50,23 +91,42 @@ class _Pending:
         order = sorted(streams, key=lambda s: (s.arrival, s.index))
         self.waiting: list[TenantStream] = list(order)
         self.emitted = 0
+        self.log: list[Admission] = []
 
     def due(self) -> list[TenantStream]:
         """Pop every stream whose arrival time has been reached."""
         out: list[TenantStream] = []
         while self.waiting and self.waiting[0].arrival <= self.emitted:
-            out.append(self.waiting.pop(0))
+            stream = self.waiting.pop(0)
+            self.log.append(Admission(stream.index, self.emitted, False))
+            out.append(stream)
         return out
 
     def force_next(self) -> TenantStream | None:
         """Admit the earliest pending stream early (nothing else runnable)."""
         if self.waiting:
-            return self.waiting.pop(0)
+            stream = self.waiting.pop(0)
+            self.log.append(Admission(stream.index, self.emitted, True))
+            return stream
         return None
 
 
-class RoundRobinScheduler:
-    """One warp per live tenant per cycle."""
+class _EpochScheduler:
+    """Base: epoch validation plus the shared admissions log surface."""
+
+    def __init__(self, epoch: int = 1) -> None:
+        if epoch < 1:
+            raise ConfigError(f"scheduler epoch must be >= 1, got {epoch}")
+        self.epoch = epoch
+        #: Admission log of the most recent :meth:`schedule` call (the
+        #: list is shared live with the running generator, so it fills
+        #: as the schedule is consumed).
+        self.admissions: list[Admission] = []
+
+
+class RoundRobinScheduler(_EpochScheduler):
+    """``epoch`` warps per live tenant per cycle (arrivals join at cycle
+    boundaries)."""
 
     name = "round-robin"
 
@@ -74,6 +134,7 @@ class RoundRobinScheduler:
         self, streams: Sequence[TenantStream], page_size: int
     ) -> Iterator[tuple[int, WarpAccess]]:
         pending = _Pending(streams)
+        self.admissions = pending.log
         live: list[tuple[int, Iterator[WarpAccess]]] = []
         while live or pending.waiting:
             for stream in pending.due():
@@ -85,22 +146,30 @@ class RoundRobinScheduler:
                 live.append((stream.index, iter(stream)))
             survivors: list[tuple[int, Iterator[WarpAccess]]] = []
             for index, it in live:
-                try:
-                    warp = next(it)
-                except StopIteration:
-                    continue
-                pending.emitted += 1
-                yield index, warp
-                survivors.append((index, it))
+                drained = False
+                for _ in range(self.epoch):
+                    try:
+                        warp = next(it)
+                    except StopIteration:
+                        drained = True
+                        break
+                    pending.emitted += 1
+                    yield index, warp
+                if not drained:
+                    survivors.append((index, it))
             live = survivors
 
 
-class WeightedFairScheduler:
+class WeightedFairScheduler(_EpochScheduler):
     """Serve the tenant with the smallest issued-bytes virtual time.
 
     ``virtual_time(t) = bytes_issued(t) / weight(t)``; a min-heap picks
-    the next tenant, so the discipline is O(log N) per warp and
-    deterministic (ties break by tenant index).
+    the next tenant, so the discipline is O(log N) per decision and
+    deterministic (ties break by tenant index).  A monotonic global
+    virtual clock — the largest virtual time ever popped — floors the
+    seeding of late arrivals, so an admission into a momentarily empty
+    heap cannot restart the virtual-time frame at zero and monopolise
+    the machine catching up.
     """
 
     name = "weighted-fair"
@@ -109,14 +178,23 @@ class WeightedFairScheduler:
         self, streams: Sequence[TenantStream], page_size: int
     ) -> Iterator[tuple[int, WarpAccess]]:
         pending = _Pending(streams)
+        self.admissions = pending.log
         #: heap of (virtual_time, index, iterator, weight)
         heap: list[tuple[float, int, Iterator[WarpAccess], float]] = []
+        #: Monotonic global virtual clock: the largest vt ever popped.
+        #: Popped vts are non-decreasing (push-backs only grow a popped
+        #: vt, and admissions seed at or above the heap minimum), so
+        #: whenever the heap is non-empty ``heap-min >= clock`` and the
+        #: seed below equals the historical ``heap[0][0]``.
+        clock = 0.0
 
         def admit(stream: TenantStream) -> None:
-            # A late arrival starts at the current minimum virtual time so
-            # it cannot monopolise the machine "catching up" on bytes it
-            # never intended to issue.
-            vt = heap[0][0] if heap else 0.0
+            # A late arrival starts at the current virtual-time frontier
+            # so it cannot monopolise the machine "catching up" on bytes
+            # it never intended to issue.  The clock floor matters when
+            # the heap is momentarily empty (mid-batch, or between
+            # cohorts): without it the newcomer would re-seed at 0.0.
+            vt = max(clock, heap[0][0]) if heap else clock
             heapq.heappush(heap, (vt, stream.index, iter(stream), stream.weight))
 
         while heap or pending.waiting:
@@ -128,26 +206,66 @@ class WeightedFairScheduler:
                     break
                 admit(stream)
             vt, index, it, weight = heapq.heappop(heap)
-            try:
-                warp = next(it)
-            except StopIteration:
-                continue
-            pending.emitted += 1
-            yield index, warp
-            heapq.heappush(heap, (vt + warp_bytes(warp, page_size) / weight, index, it, weight))
+            clock = max(clock, vt)
+            drained = False
+            served = 0
+            while served < self.epoch:
+                if served:
+                    # Mid-batch: admissions stay on time, and the batch
+                    # ends early once a peer is further behind than the
+                    # owner's accrued virtual time.
+                    for stream in pending.due():
+                        admit(stream)
+                    if heap and heap[0][0] < vt:
+                        break
+                try:
+                    warp = next(it)
+                except StopIteration:
+                    drained = True
+                    break
+                pending.emitted += 1
+                yield index, warp
+                vt += warp_bytes(warp, page_size) / weight
+                served += 1
+            if not drained:
+                heapq.heappush(heap, (vt, index, it, weight))
 
 
-class FifoScheduler:
-    """First-come-first-served: drain each stream fully, in arrival order."""
+class FifoScheduler(_EpochScheduler):
+    """First-come-first-served run-to-completion, gated on arrival.
+
+    Streams join the run queue once the schedule has emitted
+    ``arrival`` warps; an idle machine force-admits the earliest pending
+    stream instead of stalling.  Because both paths pop the same
+    arrival-sorted queue head, and drains run to completion, the gate
+    never reorders emissions relative to plain sorted-arrival draining —
+    it exists so the admission log tells the truth (a stream starting
+    before its arrival is recorded as *forced*, not silently on time).
+    Epoch batching is a no-op here: every drain is already maximal.
+    """
 
     name = "fifo"
 
     def schedule(
         self, streams: Sequence[TenantStream], page_size: int
     ) -> Iterator[tuple[int, WarpAccess]]:
-        for stream in sorted(streams, key=lambda s: (s.arrival, s.index)):
+        pending = _Pending(streams)
+        self.admissions = pending.log
+        queue: deque[TenantStream] = deque()
+        while queue or pending.waiting:
+            queue.extend(pending.due())
+            if not queue:
+                stream = pending.force_next()
+                if stream is None:  # pragma: no cover - loop guard
+                    break
+                queue.append(stream)
+            stream = queue.popleft()
             for warp in stream:
+                pending.emitted += 1
                 yield stream.index, warp
+                # Streams whose gate opens mid-drain join the queue now,
+                # so the admission log stamps the true emitted count.
+                queue.extend(pending.due())
 
 
 _SCHEDULERS = {
@@ -157,21 +275,27 @@ _SCHEDULERS = {
 }
 
 
-def make_scheduler(name: str):
-    """Instantiate a scheduling discipline by name."""
+def make_scheduler(name: str, epoch: int = 1):
+    """Instantiate a scheduling discipline by name.
+
+    ``epoch`` is the number of warps a picked tenant may emit per
+    scheduling decision; 1 reproduces per-warp scheduling exactly.
+    """
     try:
-        return _SCHEDULERS[name]()
+        cls = _SCHEDULERS[name]
     except KeyError:
         raise ConfigError(
             f"unknown scheduling discipline {name!r}; "
             f"expected one of {SCHEDULER_NAMES}"
         ) from None
+    return cls(epoch=epoch)
 
 
 def merge_streams(
     streams: Iterable[TenantStream],
     discipline: str = "round-robin",
     page_size: int = 65536,
+    epoch: int = 1,
 ) -> Iterator[tuple[int, WarpAccess]]:
     """Convenience: one-shot merged schedule over ``streams``."""
-    return make_scheduler(discipline).schedule(list(streams), page_size)
+    return make_scheduler(discipline, epoch=epoch).schedule(list(streams), page_size)

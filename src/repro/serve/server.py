@@ -261,6 +261,10 @@ class TenantServer:
         config: shared hierarchy configuration.
         streams: the tenants (see :func:`build_tenants`).
         discipline: scheduling discipline (:data:`SCHEDULER_NAMES`).
+        epoch: warps emitted per scheduling decision; 1 (the default)
+            reproduces the historical per-warp interleave byte for
+            byte, larger epochs trade interleave granularity for fewer
+            decisions (and fewer tenant-context switches).
         quota: per-tenant tier budgets (default: none).
         policy_factory: forwarded to the runtime.
         tier1_policy / tier2_policy: server-wide default eviction policy
@@ -286,6 +290,7 @@ class TenantServer:
         tier2_policy: str | None = None,
         governor=None,
         engine: str | None = None,
+        epoch: int = 1,
     ) -> None:
         if not streams:
             raise ConfigError("TenantServer needs at least one tenant stream")
@@ -293,6 +298,8 @@ class TenantServer:
             raise ConfigError(
                 f"unknown discipline {discipline!r}; expected one of {SCHEDULER_NAMES}"
             )
+        if epoch < 1:
+            raise ConfigError(f"epoch must be >= 1, got {epoch}")
         indices = [s.index for s in streams]
         if indices != list(range(len(streams))):
             raise ConfigError("tenant stream indices must be 0..N-1 in order")
@@ -304,6 +311,9 @@ class TenantServer:
         self.config = config
         self.streams = streams
         self.discipline = discipline
+        #: Warps emitted per scheduling decision (1 = the historical
+        #: per-warp interleave, byte-identical to pre-epoch replays).
+        self.epoch = epoch
         self.quota = quota or QuotaConfig()
         self._policy_factory = policy_factory
         self.governor = governor
@@ -411,7 +421,7 @@ class TenantServer:
         """
         runtime = self.runtime
         page_size = self.config.page_size
-        scheduler = make_scheduler(self.discipline)
+        scheduler = make_scheduler(self.discipline, epoch=self.epoch)
         issued_warps = [0] * len(self.streams)
         issued_bytes = [0] * len(self.streams)
         finish_ns: dict[int, float] = {}

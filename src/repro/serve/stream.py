@@ -28,8 +28,10 @@ from repro.workloads.trace import Workload
 NAMESPACE_BITS = 32
 
 #: Upper bound on tenant count implied by Python ints being unbounded is
-#: none; this is a sanity cap so a typo'd tenant list fails loudly.
-MAX_TENANTS = 4096
+#: none; this is a sanity cap so a typo'd tenant list fails loudly.  It
+#: sits above the open-loop capacity experiment's 10k-tenant populations
+#: with headroom.
+MAX_TENANTS = 16384
 
 
 def namespace_base(index: int) -> int:
@@ -133,3 +135,127 @@ class TenantStream:
             f"TenantStream({self.index}, {self.name!r}, "
             f"{self.footprint_pages} pages, w={self.weight})"
         )
+
+
+class TenantPopulation:
+    """Generate a service-scale tenant population (1k–10k tenants).
+
+    Real serving fleets are zipf-shaped: a few heavy tenants own most of
+    the data and traffic, a long tail of small tenants owns the rest.
+    The population ranks tenants 1..N and draws three correlated
+    zipf-skewed attributes per rank:
+
+    - **footprint** — dataset size in pages, scaled into
+      ``[min_footprint, max_footprint]``;
+    - **weight** — scheduling weight (heavy tenants get proportionally
+      more of the machine, like paid tiers);
+    - **popularity** — the probability an open-loop arrival targets the
+      tenant (:meth:`arrival_weights`), the knob that concentrates load
+      on the head of the distribution.
+
+    Ranks are shuffled by ``seed`` so tenant index does not encode size,
+    and every derived quantity is deterministic in ``(tenants, seed)`` —
+    the same population always builds byte-identical streams.
+
+    Args:
+        tenants: population size (1 .. :data:`MAX_TENANTS`).
+        seed: base RNG seed; tenant ``i``'s workload generates with
+            ``seed + i``.
+        workload: registry name of the per-tenant workload (default
+            ``"keyvalue"``, the cheap synthetic serving workload).
+        skew: zipf exponent shaping footprints/weights/popularity
+            (0 = uniform fleet).
+        min_footprint / max_footprint: per-tenant dataset bounds, pages.
+        slo_p50_ns / slo_p99_ns: optional fleet-wide latency SLOs
+            stamped on every spec.
+    """
+
+    def __init__(
+        self,
+        tenants: int,
+        seed: int = 0,
+        workload: str = "keyvalue",
+        skew: float = 1.1,
+        min_footprint: int = 4,
+        max_footprint: int = 64,
+        slo_p50_ns: float | None = None,
+        slo_p99_ns: float | None = None,
+    ) -> None:
+        if not 1 <= tenants <= MAX_TENANTS:
+            raise ConfigError(
+                f"population size {tenants} out of range [1, {MAX_TENANTS}]"
+            )
+        if skew < 0:
+            raise ConfigError(f"population skew must be >= 0, got {skew}")
+        if not 1 <= min_footprint <= max_footprint:
+            raise ConfigError(
+                f"footprint bounds must satisfy 1 <= min <= max, got "
+                f"[{min_footprint}, {max_footprint}]"
+            )
+        self.tenants = tenants
+        self.seed = seed
+        self.workload = workload
+        self.skew = skew
+        self.min_footprint = min_footprint
+        self.max_footprint = max_footprint
+        self.slo_p50_ns = slo_p50_ns
+        self.slo_p99_ns = slo_p99_ns
+        import random
+
+        # Rank r (0 = heaviest) carries zipf mass (r+1)^-skew; the
+        # shuffle decouples tenant index from rank.
+        rng = random.Random(seed)
+        ranks = list(range(tenants))
+        rng.shuffle(ranks)
+        self._rank_of = ranks
+        self._mass = [(r + 1) ** -skew for r in range(tenants)]
+
+    def _scaled(self, index: int, lo: float, hi: float) -> float:
+        """Rank mass mapped linearly into [lo, hi] (rank 0 -> hi)."""
+        top = self._mass[0]
+        bottom = self._mass[-1]
+        mass = self._mass[self._rank_of[index]]
+        if top == bottom:
+            return hi
+        return lo + (hi - lo) * (mass - bottom) / (top - bottom)
+
+    def specs(self) -> list[TenantSpec]:
+        """One :class:`TenantSpec` per tenant, deterministic in the seed."""
+        width = len(str(self.tenants - 1))
+        return [
+            TenantSpec(
+                name=f"t{i:0{width}d}",
+                workload=self.workload,
+                weight=round(self._scaled(i, 1.0, 8.0), 4),
+                slo_p50_ns=self.slo_p50_ns,
+                slo_p99_ns=self.slo_p99_ns,
+            )
+            for i in range(self.tenants)
+        ]
+
+    def footprints(self) -> list[int]:
+        """Per-tenant dataset sizes in pages (zipf-scaled into bounds)."""
+        return [
+            max(
+                self.min_footprint,
+                int(self._scaled(i, self.min_footprint, self.max_footprint)),
+            )
+            for i in range(self.tenants)
+        ]
+
+    def arrival_weights(self) -> list[float]:
+        """Relative probability an arrival targets each tenant."""
+        return [self._mass[self._rank_of[i]] for i in range(self.tenants)]
+
+    def build(self) -> list[TenantStream]:
+        """Materialise the namespaced :class:`TenantStream` list."""
+        from repro.workloads.registry import make_workload
+
+        specs = self.specs()
+        footprints = self.footprints()
+        return [
+            TenantStream(
+                i, spec, make_workload(spec.workload, footprints[i], seed=self.seed + i)
+            )
+            for i, spec in enumerate(specs)
+        ]

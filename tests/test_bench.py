@@ -108,6 +108,34 @@ class TestInformationalCells:
         assert problems == ["bfs/reuse+s3fifo: missing from current run"]
 
 
+class TestOpenLoopCell:
+    """The 1k-tenant open-loop serve cell rides the baseline as an
+    informational cell with serving-side metrics attached."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        spec = dict(bench.OPENLOOP_CELL, tenants=64, requests=256,
+                    arrival_rate_per_s=4096.0)
+        return bench.run_bench(cells=(), scale=4096, seed=0,
+                               openloop_cells=(spec,))
+
+    def test_default_spec_is_service_scale(self):
+        assert bench.OPENLOOP_CELL["tenants"] >= 1024
+
+    def test_cell_id_marker_and_metrics(self, doc):
+        record = doc["cells"]["serve/openloop-1k"]
+        assert record["informational"] is True
+        for metric in bench.SIM_METRICS:
+            assert metric in record
+        assert record["requests_arrived"] == 256.0
+        assert "shed_rate" in record
+
+    def test_metric_drift_is_not_gated(self, doc):
+        current = copy.deepcopy(doc)
+        current["cells"]["serve/openloop-1k"]["elapsed_ns"] *= 3.0
+        assert bench.compare(doc, current) == []
+
+
 class TestCLI:
     def test_record_then_check_passes(self, tmp_path, monkeypatch, capsys):
         monkeypatch.setattr(bench, "DEFAULT_CELLS", CELLS)

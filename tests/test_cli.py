@@ -148,6 +148,47 @@ class TestGmtServe:
         with pytest.raises(SystemExit):
             main_serve(["--tenants", "bfs", "--discipline", "lottery"])
 
+    def test_epoch_flag(self, capsys):
+        from repro.cli import main_serve
+
+        rc = main_serve(["--tenants", "bfs,hotspot", "--scale", "8192",
+                         "--epoch", "4", "--no-solo"])
+        assert rc == 0
+        assert "serving 2 tenants" in capsys.readouterr().out
+
+    def test_epoch_validation(self):
+        from repro.cli import main_serve
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main_serve(["--tenants", "bfs", "--scale", "8192", "--epoch", "0"])
+
+    def test_open_loop_run(self, capsys):
+        from repro.cli import main_serve
+
+        rc = main_serve(["--open-loop", "64", "--requests", "256",
+                         "--arrival-rate", "8192", "--max-backlog", "64",
+                         "--scale", "8192", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "open-loop serve: 64 tenants, 256 arrivals" in out
+        assert "admitted" in out and "shed" in out
+
+    def test_open_loop_bursty_process(self, capsys):
+        from repro.cli import main_serve
+
+        rc = main_serve(["--open-loop", "32", "--requests", "128",
+                         "--arrival-process", "bursty",
+                         "--arrival-rate", "4096", "--scale", "8192"])
+        assert rc == 0
+        assert "bursty" in capsys.readouterr().out
+
+    def test_tenants_or_open_loop_required(self):
+        from repro.cli import main_serve
+
+        with pytest.raises(SystemExit):
+            main_serve(["--scale", "8192"])
+
 
 class TestGmtWhy:
     SCALE = ["--scale", "8192"]

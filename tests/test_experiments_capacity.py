@@ -1,0 +1,80 @@
+"""The capacity experiment: registration, curve shape, conservation,
+determinism, and engine-cache reproducibility."""
+
+import pytest
+
+from repro.experiments.capacity import SPEC, TENANT_COUNTS, capacity_cell
+from repro.experiments.engine import Engine, ResultCache
+from repro.experiments.harness import default_config
+from repro.experiments.runner import EXPERIMENTS, get_spec, run_experiment
+
+#: Small scale keeps the fleet sweep under a few seconds while still
+#: crossing the shedding knee at the >= 1k-tenant points.
+SCALE = 256
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_experiment("capacity", scale=SCALE)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "capacity" in EXPERIMENTS
+        assert get_spec("capacity") is SPEC
+
+    def test_sweeps_past_one_thousand_tenants(self):
+        assert max(TENANT_COUNTS) >= 1024
+
+
+class TestTable:
+    def test_one_row_per_fleet_size(self, results):
+        (result,) = results
+        assert [row[0] for row in result.rows] == list(TENANT_COUNTS)
+
+    def test_renders(self, results):
+        (result,) = results
+        text = result.to_text()
+        assert "shed rate" in text
+        assert "p99" in text
+
+
+class TestPoints:
+    def test_admission_conservation_every_point(self, results):
+        (result,) = results
+        for point in result.extras["points"]:
+            assert point["admitted"] + point["shed"] == point["arrived"]
+            assert point["completed"] <= point["admitted"]
+            assert point["arrived"] == 4 * point["tenants"]
+
+    def test_contention_grows_with_fleet_size(self, results):
+        """The headline curve: p99 is monotone non-decreasing in fleet
+        size, and shedding has set in by the largest fleet."""
+        (result,) = results
+        points = result.extras["points"]
+        p99s = [p["p99_ns"] for p in points]
+        assert all(a <= b for a, b in zip(p99s, p99s[1:])), p99s
+        assert points[0]["shed"] == 0  # small fleet: nothing shed
+        assert points[-1]["shed_rate"] > 0.05  # big fleet: shedding
+
+    def test_cell_deterministic(self):
+        config = default_config(SCALE)
+        a = capacity_cell(config, 64, 0)
+        b = capacity_cell(config, 64, 0)
+        assert a == b
+
+
+class TestCacheReproducibility:
+    def test_warm_rerun_is_fully_cache_served_and_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = Engine(cache=cache, memo={})
+        first = run_experiment("capacity", scale=SCALE, engine=cold)
+        assert cold.stats.executed > 0
+
+        warm = Engine(cache=cache, memo={})  # fresh memo = "new process"
+        second = run_experiment("capacity", scale=SCALE, engine=warm)
+        assert warm.stats.executed == 0
+
+        for a, b in zip(first, second):
+            assert a.rows == b.rows
+            assert a.extras["points"] == b.extras["points"]

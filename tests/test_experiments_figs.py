@@ -185,6 +185,7 @@ class TestRunner:
             "extensions",
             "serve_mix",
             "isolation",
+            "capacity",
         }
 
     def test_serve_mix_sweep(self):

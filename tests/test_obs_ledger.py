@@ -166,7 +166,7 @@ class TestTrendReport:
 
 class TestBenchTrendCLI:
     def bench_params(self, scale=4096, seed=0):
-        from repro.bench import DEFAULT_CELLS, ENGINE_CELLS, ZOO_CELLS
+        from repro.bench import DEFAULT_CELLS, ENGINE_CELLS, OPENLOOP_CELL, ZOO_CELLS
 
         return {
             "cells": sorted(
@@ -177,6 +177,7 @@ class TestBenchTrendCLI:
                     for spec in ENGINE_CELLS
                     for eng in ("scalar", "vector")
                 ]
+                + [OPENLOOP_CELL["id"]]
             ),
             "scale": scale,
             "seed": seed,

@@ -1,0 +1,193 @@
+"""Tests for the open-loop service simulator (repro.serve.openloop)."""
+
+import pytest
+
+from repro.check.identities import assert_conformant, audit_split, audit_stats
+from repro.core.config import GMTConfig
+from repro.errors import ConfigError
+from repro.serve import (
+    OpenLoopConfig,
+    OpenLoopServer,
+    TenantPopulation,
+)
+
+
+def tiny_config(**overrides):
+    return GMTConfig(tier1_frames=16, tier2_frames=32, **overrides)
+
+
+def run_server(tenants=32, seed=1, **loop_kwargs):
+    loop_kwargs.setdefault("requests", 200)
+    loop_kwargs.setdefault("arrival_rate_per_s", 4000.0)
+    server = OpenLoopServer(
+        tiny_config(),
+        TenantPopulation(tenants, seed=seed, min_footprint=4, max_footprint=16),
+        OpenLoopConfig(seed=seed, **loop_kwargs),
+    )
+    return server, server.run()
+
+
+class TestPopulation:
+    def test_specs_deterministic(self):
+        a = TenantPopulation(100, seed=3)
+        b = TenantPopulation(100, seed=3)
+        assert a.specs() == b.specs()
+        assert a.footprints() == b.footprints()
+        assert a.arrival_weights() == b.arrival_weights()
+
+    def test_seed_changes_population(self):
+        a = TenantPopulation(100, seed=3)
+        b = TenantPopulation(100, seed=4)
+        assert a.footprints() != b.footprints()
+
+    def test_zipf_skew_shapes_arrival_mass(self):
+        pop = TenantPopulation(200, seed=0, skew=1.2)
+        weights = pop.arrival_weights()
+        top = sorted(weights, reverse=True)
+        # zipf: the heaviest tenant carries a disproportionate share
+        assert top[0] / sum(weights) > 3.0 / 200
+        assert min(weights) > 0
+
+    def test_footprints_bounded(self):
+        pop = TenantPopulation(64, seed=5, min_footprint=8, max_footprint=32)
+        assert all(8 <= f <= 32 for f in pop.footprints())
+
+    def test_build_namespaces_streams(self):
+        streams = TenantPopulation(8, seed=1, min_footprint=4, max_footprint=8).build()
+        assert [s.index for s in streams] == list(range(8))
+        assert len({s.name for s in streams}) == 8
+
+    def test_scale_to_thousands(self):
+        """Population metadata at service scale stays cheap (no workload
+        generation happens until build())."""
+        pop = TenantPopulation(10_000, seed=0)
+        assert len(pop.specs()) == 10_000
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            TenantPopulation(0)
+        with pytest.raises(ConfigError):
+            TenantPopulation(1 << 20)
+
+
+class TestOpenLoopConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(requests=0)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(arrival_rate_per_s=0.0)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(epoch=0)
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(arrival_process="uniform")
+        with pytest.raises(ConfigError):
+            OpenLoopConfig(max_backlog=0)
+
+
+class TestOpenLoopServer:
+    def test_admission_conservation(self):
+        server, outcome = run_server(max_backlog=16)
+        assert outcome.arrived == 200
+        assert outcome.admitted + outcome.shed == outcome.arrived
+        assert outcome.completed == outcome.admitted
+        stats = server.runtime.stats
+        assert stats.requests_arrived == outcome.arrived
+        assert stats.requests_admitted == outcome.admitted
+        assert stats.requests_shed == outcome.shed
+        # the identity catalogue agrees
+        assert not audit_stats(stats)
+
+    def test_deterministic(self):
+        _, a = run_server(seed=7)
+        _, b = run_server(seed=7)
+        assert a.arrived == b.arrived
+        assert a.admitted == b.admitted
+        assert a.shed == b.shed
+        assert a.makespan_ns == b.makespan_ns
+        assert a.p99_ns == b.p99_ns
+        assert a.tenant_completed == b.tenant_completed
+
+    def test_full_conformance_audit(self):
+        server, _ = run_server()
+        assert_conformant(server.runtime)
+        assert not audit_split(server.runtime.stats, server.runtime.tenant_stats)
+
+    def test_backlog_cap_sheds(self):
+        """A tight backlog cap under a hot arrival burst sheds load."""
+        _, unbounded = run_server(arrival_rate_per_s=500_000.0)
+        _, capped = run_server(arrival_rate_per_s=500_000.0, max_backlog=8)
+        assert unbounded.shed == 0
+        assert capped.shed > 0
+        assert capped.admitted + capped.shed == capped.arrived
+
+    def test_anomaly_pressure_sheds(self):
+        """Sustained tier-thrash pressure trips the anomaly detector and
+        the admission controller sheds for a cooldown window (streaming
+        tenants, oversubscribed hierarchy, arrivals slow enough that the
+        backlog survives past the first pressure window)."""
+        config = GMTConfig(tier1_frames=32, tier2_frames=64)
+        population = TenantPopulation(
+            32,
+            seed=2,
+            workload="streaming",
+            min_footprint=64,
+            max_footprint=128,
+        )
+        loop = OpenLoopConfig(
+            requests=400,
+            arrival_rate_per_s=2000.0,
+            epoch=8,
+            seed=2,
+            pressure_window=256,
+            shed_cooldown_ns=5_000_000.0,
+        )
+        server = OpenLoopServer(config, population, loop)
+        outcome = server.run()
+        assert outcome.pressure_findings > 0
+        assert outcome.shed > 0  # no backlog cap: every shed is pressure
+        assert outcome.admitted + outcome.shed == outcome.arrived
+        assert_conformant(server.runtime)
+
+    def test_latency_percentiles_populated(self):
+        _, outcome = run_server()
+        assert outcome.completed > 0
+        assert outcome.p99_ns is not None
+        assert outcome.p99_ns >= (outcome.p50_ns or 0.0)
+
+    def test_slo_violation_count(self):
+        server = OpenLoopServer(
+            tiny_config(),
+            TenantPopulation(
+                # a 0.001 ns p99 target is unsatisfiable: every tenant
+                # that completes a request violates it
+                16, seed=1, min_footprint=4, max_footprint=16, slo_p99_ns=1e-3
+            ),
+            OpenLoopConfig(requests=100, arrival_rate_per_s=4000.0, seed=1),
+        )
+        outcome = server.run()
+        # impossible SLO: every tenant that completed a request violates
+        assert outcome.slo_violating_tenants() == sum(
+            1 for c in outcome.tenant_completed if c > 0
+        )
+
+    def test_to_table_renders(self):
+        _, outcome = run_server()
+        table = outcome.to_table()
+        assert "open-loop serve" in table
+        assert "admitted" in table
+
+    def test_closed_loop_counters_stay_zero(self):
+        """The new counters exist only on the open-loop path: a plain
+        closed-loop serve run leaves them at zero."""
+        from repro.serve import TenantServer, build_tenants
+
+        config = tiny_config()
+        streams = build_tenants(["hotspot", "bfs"], config, seed=3)
+        server = TenantServer(config, streams)
+        server.run(solo_baselines=False)
+        stats = server.runtime.stats
+        assert stats.requests_arrived == 0
+        assert stats.requests_admitted == 0
+        assert stats.requests_shed == 0
+        assert stats.requests_completed == 0
+        assert stats.shed_rate == 0.0

@@ -1,0 +1,167 @@
+"""Property tests for the dynamic idle-reclaim quota arithmetic.
+
+The regression these lock down: ``TierQuotas.active_tenants`` used to
+fall back to "everyone is active" when no tenant was active (all idle or
+all finished).  Under that fallback every tenant simultaneously donated
+its static share to the idle pool *and* received a cut of it, so the
+effective budgets summed to roughly twice the tier's capacity — a tenant
+draining exactly at the ``idle_window`` boundary could legally hold
+frames far past its share.  The fixed rule: an empty active set means
+everyone keeps exactly the static base, and only truly active tenants
+receive a pool cut.
+
+The hypothesis suite drives a random operation sequence (activity notes,
+stream finishes, clock advances) and checks the capacity bound after
+every step.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.quota import QuotaConfig, TierQuotas
+
+
+def make_quotas(tenants, tier1=64, tier2=128, idle_window=50):
+    return TierQuotas(
+        QuotaConfig(mode="dynamic", idle_window=idle_window),
+        tier1,
+        tier2,
+        weights=[1.0] * tenants,
+    )
+
+
+def check_invariants(quotas, tier1=64, tier2=128):
+    """The budget identities that must hold after ANY op sequence."""
+    tenants = quotas.tenants
+    active = set(quotas.active_tenants())
+    for capacity, budget_of, static_of in (
+        (tier1, quotas.tier1_budget, quotas.static_tier1_budget),
+        (tier2, quotas.tier2_budget, quotas.static_tier2_budget),
+    ):
+        budgets = [budget_of(t) for t in range(tenants)]
+        statics = [static_of(t) for t in range(tenants)]
+        # 1. Idle tenants (and everyone when none is active) keep exactly
+        #    their static base.
+        for t in range(tenants):
+            if t not in active:
+                assert budgets[t] == statics[t]
+            else:
+                assert budgets[t] >= statics[t]
+        # 2. The donated pool never mints frames: the recipients'
+        #    (active tenants') budgets sum within the tier's capacity.
+        #    Idle donors keep their static share only as an eviction cap
+        #    — over-budget donors are the preferred victims — so the
+        #    active set is the one that must not overcommit the tier.
+        #    The pre-fix "everyone is active" fallback made the whole
+        #    fleet recipients of its own statics: sum == 2x capacity.
+        total = sum(budgets[t] for t in active)
+        assert total <= capacity, (
+            f"budgets {budgets} (active {sorted(active)}) sum past "
+            f"capacity {capacity}"
+        )
+        # 3. Statics always partition within capacity (split_frames).
+        assert sum(statics) <= capacity
+
+
+class Op:
+    """Tagged op for the sequence strategy (readable failure output)."""
+
+    def __init__(self, kind, tenant=None, delta=0):
+        self.kind = kind
+        self.tenant = tenant
+        self.delta = delta
+
+    def __repr__(self):
+        if self.kind == "advance":
+            return f"advance(+{self.delta})"
+        return f"{self.kind}(t{self.tenant})"
+
+
+def ops_strategy(tenants):
+    return st.lists(
+        st.one_of(
+            st.builds(
+                Op,
+                st.just("active"),
+                tenant=st.integers(0, tenants - 1),
+            ),
+            st.builds(
+                Op,
+                st.just("finish"),
+                tenant=st.integers(0, tenants - 1),
+            ),
+            st.builds(
+                Op,
+                st.just("advance"),
+                delta=st.integers(1, 120),
+            ),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(tenants=st.integers(1, 6), data=st.data())
+def test_budget_capacity_bound_under_op_sequences(tenants, data):
+    ops = data.draw(ops_strategy(tenants))
+    quotas = make_quotas(tenants)
+    position = 0
+    for op in ops:
+        if op.kind == "active":
+            quotas.note_active(op.tenant, position)
+        elif op.kind == "finish":
+            quotas.note_finished(op.tenant)
+        else:
+            position += op.delta
+            # The clock only moves via note_active in production; model
+            # that with a zero-cost activity poke from tenant 0 unless it
+            # already finished (then idle time just accrues silently).
+            quotas._now = max(quotas._now, position)
+        check_invariants(quotas)
+
+
+def test_all_finished_keeps_static_base():
+    """The exact pre-fix failure: every stream drained -> every budget
+    must equal the static share, not static + pool."""
+    quotas = make_quotas(4)
+    for t in range(4):
+        quotas.note_finished(t)
+    assert quotas.active_tenants() == []
+    for t in range(4):
+        assert quotas.tier1_budget(t) == quotas.static_tier1_budget(t)
+        assert quotas.tier2_budget(t) == quotas.static_tier2_budget(t)
+    total = sum(quotas.tier1_budget(t) for t in range(4))
+    assert total <= 64  # pre-fix: 64 (statics) + 64 (pool) == 2x capacity
+
+
+def test_idle_window_boundary_no_double_count():
+    """A tenant exactly at the idle boundary is either donor or
+    recipient, never both."""
+    quotas = make_quotas(2, idle_window=50)
+    quotas.note_active(0, 0)
+    quotas.note_active(1, 100)  # moves the clock: tenant 0 is 100 idle
+    assert quotas.active_tenants() == [1]
+    # tenant 0 donates, keeps static; tenant 1 receives the whole pool
+    assert quotas.tier1_budget(0) == quotas.static_tier1_budget(0)
+    assert (
+        quotas.tier1_budget(1)
+        == quotas.static_tier1_budget(1) + quotas.static_tier1_budget(0)
+    )
+    total = quotas.tier1_budget(0) + quotas.tier1_budget(1)
+    assert total <= 64 + quotas.static_tier1_budget(0)
+
+
+def test_lone_active_tenant_gets_whole_tier():
+    """Idle reclaim still works: the surviving tenant's budget grows to
+    (nearly) the full capacity."""
+    quotas = make_quotas(4)
+    for t in (1, 2, 3):
+        quotas.note_finished(t)
+    quotas.note_active(0, 10)
+    assert quotas.active_tenants() == [0]
+    assert quotas.tier1_budget(0) == 64  # 16 static + 48 pooled
+    assert quotas.tier2_budget(0) == 128

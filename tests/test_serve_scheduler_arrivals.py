@@ -1,0 +1,261 @@
+"""Arrival-semantics tests shared across every interleaving discipline.
+
+Two of these are regression tests for real scheduler bugs fixed in the
+open-loop serving PR — both fail on the pre-fix code:
+
+- ``FifoScheduler.schedule`` silently ignored ``TenantStream.arrival``
+  (it claimed FIFO-by-arrival but admitted everyone at time zero).  The
+  scheduler now gates admission on emitted-warp count like the other
+  disciplines and logs every admission — forced idle-time admissions
+  included — in ``scheduler.admissions``.
+- ``WeightedFairScheduler`` seeded a late arrival's virtual time from
+  ``heap[0][0]``, which restarts at 0.0 whenever the heap is empty at
+  admission time; the newcomer then monopolises the machine until its
+  virtual time catches up with tenants that had already been charged for
+  their service.  The scheduler now tracks a monotonic global virtual
+  clock and seeds arrivals at ``max(clock, heap-min)``.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.scheduler import (
+    SCHEDULER_NAMES,
+    WeightedFairScheduler,
+    make_scheduler,
+    merge_streams,
+)
+from repro.sim.gpu import WarpAccess
+
+PAGE = 65536
+
+
+class FakeStream:
+    """Minimal stand-in exposing what the disciplines read."""
+
+    def __init__(self, index, warps, weight=1.0, arrival=0):
+        self.index = index
+        self.weight = weight
+        self.arrival = arrival
+        self._warps = warps
+
+    def __iter__(self):
+        return iter(self._warps)
+
+
+def warps(n, pages_per_warp=1):
+    return [
+        WarpAccess(pages=tuple(range(i, i + pages_per_warp)), write=False)
+        for i in range(n)
+    ]
+
+
+def max_consecutive(order, tenant):
+    best = run = 0
+    for t in order:
+        run = run + 1 if t == tenant else 0
+        best = max(best, run)
+    return best
+
+
+def max_interior_run(order, tenant):
+    """Longest consecutive run of ``tenant`` excluding the trailing run
+    (holding an otherwise-empty machine is legitimate, not monopoly)."""
+    end = len(order)
+    while end and order[end - 1] == tenant:
+        end -= 1
+    return max_consecutive(order[:end], tenant)
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+class TestArrivalSemanticsAllDisciplines:
+    """Every discipline honours the arrival gate the same way."""
+
+    def test_no_tenant_emits_before_its_arrival(self, name):
+        """Unless force-admitted on an idle machine, a tenant's first
+        warp comes at or after ``arrival`` warps have been emitted."""
+        streams = [
+            FakeStream(0, warps(6), arrival=0),
+            FakeStream(1, warps(6), arrival=4),
+            FakeStream(2, warps(6), arrival=9),
+        ]
+        scheduler = make_scheduler(name)
+        order = [t for t, _ in scheduler.schedule(streams, PAGE)]
+        forced = {a.tenant for a in scheduler.admissions if a.forced}
+        for stream in streams:
+            if stream.index in forced:
+                continue
+            assert order.index(stream.index) >= stream.arrival, (
+                f"{name}: tenant {stream.index} started before its arrival"
+            )
+
+    def test_admission_log_matches_arrivals(self, name):
+        """Each tenant is admitted exactly once, never before its
+        arrival (except explicit idle-machine force admissions)."""
+        streams = [
+            FakeStream(0, warps(3), arrival=0),
+            FakeStream(1, warps(3), arrival=2),
+            FakeStream(2, warps(3), arrival=50),  # after everyone drains
+        ]
+        scheduler = make_scheduler(name)
+        list(scheduler.schedule(streams, PAGE))
+        admitted = [a.tenant for a in scheduler.admissions]
+        assert sorted(admitted) == [0, 1, 2]
+        for admission in scheduler.admissions:
+            if admission.forced:
+                continue
+            arrival = streams[admission.tenant].arrival
+            assert admission.emitted >= arrival
+
+    def test_idle_machine_force_admits(self, name):
+        """A gap between drain and the next arrival force-admits the
+        earliest waiter instead of deadlocking — and says so."""
+        streams = [
+            FakeStream(0, warps(2), arrival=0),
+            FakeStream(1, warps(2), arrival=40),
+        ]
+        scheduler = make_scheduler(name)
+        emitted = list(scheduler.schedule(streams, PAGE))
+        assert len(emitted) == 4  # nothing lost to the idle gap
+        forced = [a for a in scheduler.admissions if a.forced]
+        assert [a.tenant for a in forced] == [1]
+        assert forced[0].emitted == 2  # machine went idle after 2 warps
+
+    def test_all_warps_emitted_exactly_once(self, name):
+        streams = [
+            FakeStream(0, warps(5), arrival=0),
+            FakeStream(1, warps(7), arrival=3),
+            FakeStream(2, warps(2), arrival=6),
+        ]
+        emitted = list(make_scheduler(name).schedule(streams, PAGE))
+        counts = {}
+        for t, _ in emitted:
+            counts[t] = counts.get(t, 0) + 1
+        assert counts == {0: 5, 1: 7, 2: 2}
+
+    def test_epoch_validation(self, name):
+        with pytest.raises(ConfigError):
+            make_scheduler(name, epoch=0)
+
+    def test_epoch_one_matches_default(self, name):
+        streams = lambda: [  # noqa: E731 - fresh iterators per run
+            FakeStream(0, warps(6), weight=2.0, arrival=0),
+            FakeStream(1, warps(6), weight=1.0, arrival=4),
+        ]
+        default = list(make_scheduler(name).schedule(streams(), PAGE))
+        explicit = list(make_scheduler(name, epoch=1).schedule(streams(), PAGE))
+        assert default == explicit
+
+
+class TestFifoArrivalRegression:
+    """Pre-fix ``FifoScheduler`` ignored arrivals entirely: it had no
+    admission bookkeeping at all (no ``admissions`` log), and admitted
+    every tenant at time zero."""
+
+    def test_late_arrival_is_gated_not_preadmitted(self):
+        streams = [
+            FakeStream(0, warps(4), arrival=0),
+            FakeStream(1, warps(4), arrival=3),
+        ]
+        scheduler = make_scheduler("fifo")
+        list(scheduler.schedule(streams, PAGE))
+        # The pre-fix scheduler exposes no admissions log; the fixed one
+        # records tenant 1's admission at >= its arrival stamp.
+        late = [a for a in scheduler.admissions if a.tenant == 1]
+        assert len(late) == 1
+        assert not late[0].forced
+        assert late[0].emitted >= 3
+
+
+class TestWfqMonopolisationRegression:
+    """The pre-fix heap-seeded virtual time lets a late arrival run
+    unboundedly long.  Scenario (1-page warps, equal weights, epoch=4):
+    tenant A has 20 warps; tenant B arrives after 10 emissions, when A's
+    accrued virtual time is ~10 pages.  Old code seeds B at heap-min —
+    but with A mid-batch the heap is empty, so B restarts at vt=0.0 and
+    emits ~10 consecutive warps before A gets the machine back.  Fixed
+    code seeds B at the global clock, so B alternates with A and can
+    never hold the machine for more than one epoch."""
+
+    def test_late_arrival_cannot_monopolise(self):
+        streams = [
+            FakeStream(0, warps(20), arrival=0),
+            FakeStream(1, warps(20), arrival=10),
+        ]
+        scheduler = WeightedFairScheduler(epoch=4)
+        order = [t for t, _ in scheduler.schedule(streams, PAGE)]
+        assert max_interior_run(order, 1) <= scheduler.epoch, (
+            f"late arrival monopolised the machine: {order}"
+        )
+
+    def test_late_arrival_not_starved_either(self):
+        """The fix must not overshoot: the newcomer still gets its fair
+        alternating share once admitted."""
+        streams = [
+            FakeStream(0, warps(20), arrival=0),
+            FakeStream(1, warps(20), arrival=10),
+        ]
+        order = [
+            t for t, _ in WeightedFairScheduler(epoch=4).schedule(streams, PAGE)
+        ]
+        first = order.index(1)
+        window = order[first : first + 16]
+        assert window.count(1) >= 4
+
+    def test_post_idle_admissions_stay_fair(self):
+        """A force-admitted tenant (heap empty, clock seeding) and a
+        due-admitted one (heap-min seeding) an instant later must
+        alternate — neither seeding path hands out an advantage."""
+        streams = [
+            FakeStream(0, warps(4), arrival=0),
+            FakeStream(1, warps(8), arrival=5),  # force-admitted at 4
+            FakeStream(2, warps(8), arrival=5),  # due-admitted at 5
+        ]
+        order = [
+            t for t, _ in WeightedFairScheduler(epoch=1).schedule(streams, PAGE)
+        ]
+        assert max_interior_run(order, 1) <= 2
+        assert max_interior_run(order, 2) <= 2
+
+
+class TestEpochBatching:
+    def test_round_robin_epoch_groups_warps_in_runs(self):
+        order = [
+            t
+            for t, _ in make_scheduler("round-robin", epoch=4).schedule(
+                [
+                    FakeStream(0, warps(8), arrival=0),
+                    FakeStream(1, warps(8), arrival=0),
+                ],
+                PAGE,
+            )
+        ]
+        assert order == [0] * 4 + [1] * 4 + [0] * 4 + [1] * 4
+
+    def test_weighted_fair_epoch_is_bounded_by_fairness(self):
+        """WFQ's epoch is a *cap*, not a grant: a batch ends as soon as
+        another tenant's virtual time falls behind, so equal-weight
+        co-resident tenants still interleave tightly."""
+        order = [
+            t
+            for t, _ in make_scheduler("weighted-fair", epoch=4).schedule(
+                [
+                    FakeStream(0, warps(8), arrival=0),
+                    FakeStream(1, warps(8), arrival=0),
+                ],
+                PAGE,
+            )
+        ]
+        assert max_interior_run(order, 0) <= 4
+        assert max_interior_run(order, 1) <= 4
+        # still fair: both tenants' warps fully emitted
+        assert order.count(0) == order.count(1) == 8
+
+    def test_merge_streams_epoch_passthrough(self):
+        streams = [
+            FakeStream(0, warps(6), arrival=0),
+            FakeStream(1, warps(6), arrival=0),
+        ]
+        merged = list(merge_streams(streams, "round-robin", PAGE, epoch=3))
+        order = [t for t, _ in merged]
+        assert order[:6] == [0, 0, 0, 1, 1, 1]
